@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks of the simulation and framework kernels that
+//! dominate experiment run time. These quantify the cost model behind the
+//! paper's Fig. 7 efficiency claims (training-time ratios are reported in
+//! circuit evaluations; these benches anchor evaluations to wall time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::data::Dataset;
+use qnn::executor::{pure_z_scores, NoiseOptions, NoisyExecutor};
+use qnn::model::VqcModel;
+use quasim::density::DensityMatrix;
+use quasim::gate::{BoundGate, GateKind};
+use quasim::noise::KrausChannel;
+use quasim::statevector::StateVector;
+use qucad::cluster::kmedians_weighted_l1;
+use qucad::levels::CompressionTable;
+use transpile::circuit::{Circuit, Param};
+use transpile::expand::expand;
+use transpile::route::route_identity;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statevector");
+    g.bench_function("apply_1q_gate_4q", |b| {
+        let gate = BoundGate::one(GateKind::Ry, 2, 0.7);
+        b.iter_batched(
+            || StateVector::zero_state(4),
+            |mut sv| {
+                sv.apply(black_box(&gate));
+                sv
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pure_eval_mnist_model", |b| {
+        let model = VqcModel::paper_model(4, 4, 16, 2);
+        let weights = model.init_weights(1);
+        let features = vec![0.5; 16];
+        b.iter(|| pure_z_scores(black_box(&model), &features, &weights))
+    });
+    g.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("density");
+    g.bench_function("apply_2q_gate_5q", |b| {
+        let gate = BoundGate::two(GateKind::Cx, 0, 1, 0.0);
+        b.iter_batched(
+            || DensityMatrix::zero_state(5),
+            |mut rho| {
+                rho.apply_gate(black_box(&gate));
+                rho
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fast_depolarizing_2q_5q", |b| {
+        b.iter_batched(
+            || DensityMatrix::zero_state(5),
+            |mut rho| {
+                rho.apply_depolarizing_2q(black_box(0.01), 0, 1);
+                rho
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("kraus_depolarizing_2q_5q", |b| {
+        let ch = KrausChannel::depolarizing_2q(0.01);
+        b.iter_batched(
+            || DensityMatrix::zero_state(5),
+            |mut rho| {
+                rho.apply_channel(black_box(&ch), &[0, 1]);
+                rho
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("noisy_eval_mnist_model_belem", |b| {
+        let model = VqcModel::paper_model(4, 4, 16, 2);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1e-2, 0.02);
+        let weights = model.init_weights(1);
+        let features = vec![0.5; 16];
+        b.iter(|| exec.z_scores(black_box(&features), &weights, &snap))
+    });
+    g.finish();
+}
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpile");
+    let model = VqcModel::paper_model(4, 4, 16, 2);
+    let topo = Topology::ibm_belem();
+    g.bench_function("route_mnist_model_belem", |b| {
+        b.iter(|| route_identity(black_box(model.circuit()), &topo))
+    });
+    let phys = route_identity(model.circuit(), &topo);
+    let full: Vec<f64> = (0..model.circuit().n_params()).map(|i| i as f64 * 0.1).collect();
+    g.bench_function("expand_mnist_model", |b| {
+        b.iter(|| expand(black_box(&phys), &full))
+    });
+    let mut small = Circuit::new(4);
+    for q in 0..4 {
+        small.cry(q, (q + 1) % 4, Param::Idx(q));
+    }
+    g.bench_function("route_ring_4cry", |b| {
+        b.iter(|| route_identity(black_box(&small), &topo))
+    });
+    g.finish();
+}
+
+fn bench_framework(c: &mut Criterion) {
+    let mut g = c.benchmark_group("framework");
+    g.sample_size(20);
+    g.bench_function("levels_snap_80_params", |b| {
+        let table = CompressionTable::standard();
+        let theta: Vec<f64> = (0..80).map(|i| i as f64 * 0.173).collect();
+        b.iter(|| table.snap_all(black_box(&theta)))
+    });
+    g.bench_function("kmedians_48x14_k6", |b| {
+        let topo = Topology::ibm_belem();
+        let hist = calibration::history::HistoryConfig::belem_like(48, 3).generate(&topo);
+        let samples: Vec<Vec<f64>> = hist.iter().map(|s| s.feature_vector()).collect();
+        let w = vec![1.0; samples[0].len()];
+        b.iter(|| kmedians_weighted_l1(black_box(&samples), &w, 6, 1, 40))
+    });
+    g.bench_function("batch_loss_iris_pure_b8", |b| {
+        let model = VqcModel::paper_model(4, 3, 4, 3);
+        let data = Dataset::iris(1);
+        let weights = model.init_weights(2);
+        let batch: Vec<&qnn::data::Sample> = data.train.iter().take(8).collect();
+        b.iter(|| {
+            qnn::train::batch_loss(black_box(&model), qnn::train::Env::Pure, &batch, &weights)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_density,
+    bench_transpile,
+    bench_framework
+);
+criterion_main!(benches);

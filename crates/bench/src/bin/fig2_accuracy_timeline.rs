@@ -1,0 +1,57 @@
+//! Regenerates **Fig. 2**: daily accuracy of a 4-class MNIST QNN over the
+//! online phase when adapted only on day 1 — (a) noise-aware training \[12]
+//! vs. (b) one-time compression. Demonstrates Observation 1 (fluctuating
+//! noise collapses a noise-aware-trained model) and Motivation 1
+//! (compression is markedly more robust, with residual bad episodes).
+//!
+//! Run: `cargo run --release -p qucad-bench --bin fig2_accuracy_timeline`
+
+use qucad::framework::Method;
+use qucad::report::{pct, to_csv, SeriesSummary};
+use qucad_bench::{banner, Experiment, Scale, Task};
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    banner("Fig. 2: day-1 adaptation over a fluctuating year", scale);
+
+    let exp = Experiment::prepare(Task::Mnist4, scale, 42);
+    eprintln!("[fig2] running noise-aware-train-once ...");
+    let nat = exp.run(Method::NoiseAwareOnce);
+    eprintln!("[fig2] running one-time compression ...");
+    let cmp = exp.run(Method::OneTimeCompression);
+
+    let nat_acc = nat.accuracies();
+    let cmp_acc = cmp.accuracies();
+    let rows: Vec<Vec<String>> = nat
+        .records
+        .iter()
+        .zip(cmp.records.iter())
+        .map(|(a, b)| {
+            vec![
+                a.day.to_string(),
+                format!("{:.4}", a.accuracy),
+                format!("{:.4}", b.accuracy),
+            ]
+        })
+        .collect();
+    println!("Daily accuracy series (CSV):");
+    println!(
+        "{}",
+        to_csv(&["day", "noise_aware_day1", "compression_day1"], &rows)
+    );
+
+    let s_nat = SeriesSummary::from_series(&nat_acc);
+    let s_cmp = SeriesSummary::from_series(&cmp_acc);
+    println!("(a) noise-aware training on first day: mean {}", pct(s_nat.mean_accuracy));
+    println!("(b) compression on first day:          mean {}", pct(s_cmp.mean_accuracy));
+    let worst_nat = nat_acc.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "worst day (noise-aware): {} — the paper's Observation-1 collapse \
+         (80% -> 22% when error rates spiked)",
+        pct(worst_nat)
+    );
+    println!(
+        "expected shape: compression series sits above the noise-aware series \
+         on most days, but both dip during high-noise episodes."
+    );
+}

@@ -1,0 +1,97 @@
+//! Regenerates **Fig. 4**: (a) per-edge CNOT noise on three representative
+//! dates showing qubit heterogeneity (the noisiest edge changes identity);
+//! (b) models noise-aware-compressed on each of those dates, tested on the
+//! following weeks — each model is best near its own date, motivating the
+//! repository.
+//!
+//! Run: `cargo run --release -p qucad-bench --bin fig4_heterogeneity`
+
+use qnn::train::{evaluate, Env};
+use qucad::admm::compress;
+use qucad::report::{render_table, to_csv};
+use qucad_bench::{banner, Experiment, Scale, Task};
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    banner("Fig. 4: heterogeneous noise and date-specific compression", scale);
+
+    let exp = Experiment::prepare(Task::Mnist4, scale, 42);
+    let online = exp.history.online();
+    // Three spread-out "training" dates (the paper uses Feb 12 / Mar 15 /
+    // Apr 25).
+    let idx = [0, online.len() / 3, 2 * online.len() / 3];
+
+    // Panel (a): per-edge CNOT error on the three dates.
+    println!("(a) CNOT error per edge:");
+    let mut rows = Vec::new();
+    for &i in &idx {
+        let snap = &online[i];
+        let mut row = vec![format!("day {}", snap.day)];
+        for (e, &(a, b)) in exp.topology.edges().iter().enumerate() {
+            let _ = (a, b);
+            row.push(format!("{:.4}", snap.cnot_error[e]));
+        }
+        let worst = snap.worst_cnot_edge().map(|(e, _)| e).unwrap_or(0);
+        let (wa, wb) = exp.topology.edges()[worst];
+        row.push(format!("CX{wa}_{wb}"));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["date".into()];
+    headers.extend(
+        exp.topology.edges().iter().map(|&(a, b)| format!("CX{a}_{b}")),
+    );
+    headers.push("worst edge".into());
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", render_table(&hdr_refs, &rows));
+    println!(
+        "expected shape: the worst edge differs across dates (Observation 2)."
+    );
+    println!();
+
+    // Panel (b): compress on each date, test on every following day.
+    println!("(b) accuracy of date-compressed models over subsequent days (CSV):");
+    let exec = exp.context();
+    let executor =
+        qnn::executor::NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
+    let mut models = Vec::new();
+    for &i in &idx {
+        eprintln!("[fig4] compressing for day {} ...", online[i].day);
+        let out = compress(
+            &exp.model,
+            &executor,
+            exec.train_set,
+            &online[i],
+            &exp.qucad_config.table,
+            &exp.qucad_config.admm,
+            &exp.base_weights,
+        );
+        models.push(out.weights);
+    }
+    let eval_subset: Vec<qnn::data::Sample> = exp
+        .dataset
+        .test
+        .iter()
+        .take(exp.qucad_config.eval_samples)
+        .cloned()
+        .collect();
+    let mut csv_rows = Vec::new();
+    for snap in online.iter().step_by(2) {
+        let mut row = vec![snap.day.to_string()];
+        for w in &models {
+            let env = Env::Noisy { exec: &executor, snapshot: snap };
+            row.push(format!("{:.4}", evaluate(&exp.model, env, &eval_subset, w)));
+        }
+        csv_rows.push(row);
+    }
+    let mut csv_headers = vec!["day".to_string()];
+    for &i in &idx {
+        csv_headers.push(format!("trained_day_{}", online[i].day));
+    }
+    let ch: Vec<&str> = csv_headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", to_csv(&ch, &csv_rows));
+    println!(
+        "expected shape: each model peaks around its own compression date; \
+         accuracy degrades when the noise profile shifts (paper: 79% -> \
+         22.5%/56.5% before re-compression, restored after)."
+    );
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Fig. 7**: online training cost vs. mean accuracy on
+//! 4-class MNIST. The paper reports normalised training time
+//! (compression-everyday 146.1×, noise-aware-train-everyday 110.3×, QuCAD
+//! w/o offline 6.9×, QuCAD 1×); we report training cost in circuit
+//! evaluations (the hardware-honest unit) plus wall time.
+//!
+//! Run: `cargo run --release -p qucad-bench --bin fig7_training_time`
+
+use qucad::framework::Method;
+use qucad::report::{pct, render_table, SeriesSummary};
+use qucad_bench::{banner, Experiment, Scale, Task};
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    banner("Fig. 7: online training cost vs accuracy (4-class MNIST)", scale);
+
+    let exp = Experiment::prepare(Task::Mnist4, scale, 42);
+    let methods = [
+        Method::CompressionEveryday,
+        Method::NoiseAwareEveryday,
+        Method::QucadWithoutOffline,
+        Method::Qucad,
+    ];
+
+    struct Row {
+        name: &'static str,
+        mean_acc: f64,
+        online_evals: u64,
+        wall: std::time::Duration,
+    }
+    let mut results = Vec::new();
+    for method in methods {
+        eprintln!("[fig7] running {} ...", method.name());
+        let t0 = std::time::Instant::now();
+        let run = exp.run(method);
+        results.push(Row {
+            name: method.name(),
+            mean_acc: SeriesSummary::from_series(&run.accuracies()).mean_accuracy,
+            online_evals: run.online_evals(),
+            wall: t0.elapsed(),
+        });
+    }
+
+    let qucad_evals = results.last().map(|r| r.online_evals.max(1)).unwrap_or(1);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                pct(r.mean_acc),
+                r.online_evals.to_string(),
+                format!("{:.1}x", r.online_evals as f64 / qucad_evals as f64),
+                format!("{:.1?}", r.wall),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Method",
+                "Mean Accuracy",
+                "Online train evals",
+                "Normalized cost",
+                "Wall time"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Paper reference: 146.1x / 110.3x / 6.9x / 1x normalised training time \
+         with QuCAD's accuracy matching or beating the expensive baselines.\n\
+         Expected shape: QuCAD achieves comparable accuracy at a cost 1–2 \
+         orders of magnitude below the everyday methods."
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Fig. 8**: earthquake detection on the 7-qubit
+//! `ibm_jakarta` processor — 5 rounds (distinct calibration days), three
+//! approaches: Baseline, Noise-aware Training, QuCAD.
+//!
+//! The paper runs the QuCAD-output models on the real device; we run them
+//! on the density-matrix simulator configured from jakarta's own
+//! fluctuating calibration history (substitution documented in DESIGN.md
+//! §4 — topology, qubit count, and day-to-day variation are preserved).
+//!
+//! Run: `cargo run --release -p qucad-bench --bin fig8_jakarta`
+
+use calibration::stats::mean;
+use calibration::topology::Topology;
+use qucad::framework::Method;
+use qucad::report::{pct, render_table};
+use qucad_bench::{banner, Experiment, Scale, Task};
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    banner("Fig. 8: earthquake detection on ibm_jakarta (7 qubits)", scale);
+
+    let exp = Experiment::prepare_on(Task::Seismic, scale, 42, Topology::ibm_jakarta());
+
+    // 5 rounds = 5 spread-out online days.
+    let online = exp.history.online();
+    let round_days: Vec<usize> = (0..5).map(|r| r * online.len() / 5).collect();
+
+    let methods = [Method::Baseline, Method::NoiseAwareOnce, Method::Qucad];
+    let mut table_rows = Vec::new();
+    let mut means = Vec::new();
+    for method in methods {
+        eprintln!("[fig8] running {} ...", method.name());
+        let run = exp.run(method);
+        let acc = run.accuracies();
+        let round_acc: Vec<f64> = round_days.iter().map(|&d| acc[d]).collect();
+        let m = mean(&round_acc);
+        means.push(m);
+        let mut row = vec![method.name().to_string()];
+        row.extend(round_acc.iter().map(|a| pct(*a)));
+        row.push(pct(m));
+        table_rows.push(row);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["Method", "Round 1", "Round 2", "Round 3", "Round 4", "Round 5", "Avg."],
+            &table_rows
+        )
+    );
+    println!(
+        "Paper reference: Baseline 0.656, Noise-aware Training 0.668, QuCAD \
+         0.793 average — QuCAD +13.7% / +12.52% over the competitors, and \
+         visibly more stable across rounds."
+    );
+    println!(
+        "measured gaps: QuCAD vs Baseline {:+.2}%, QuCAD vs Noise-aware {:+.2}%",
+        100.0 * (means[2] - means[0]),
+        100.0 * (means[2] - means[1]),
+    );
+}

@@ -1,0 +1,120 @@
+//! Regenerates **Table II**: comparison of the proposed performance-aware
+//! weighted-L1 k-medians against standard L2 k-means (K = 6).
+//!
+//! Columns: mean accuracy of the models compressed at the cluster
+//! centroids, evaluated (1) at the centroid calibrations ("Mean Acc. of
+//! Clusters") and (2) across every offline sample matched to its centroid's
+//! model ("Mean Acc. of Samples").
+//!
+//! Run: `cargo run --release -p qucad-bench --bin table2_cluster`
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::stats::mean;
+use qnn::executor::NoisyExecutor;
+use qnn::train::{evaluate, Env};
+use qucad::admm::compress;
+use qucad::cluster::{kmeans_l2, kmedians_weighted_l1, performance_weights, Clustering};
+use qucad::report::{pct, render_table};
+use qucad_bench::{banner, Experiment, Scale, Task};
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    banner("Table II: clustering metric comparison (K=6)", scale);
+
+    let exp = Experiment::prepare(Task::Mnist4, scale, 42);
+    let exec = NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
+    let eval_subset: Vec<qnn::data::Sample> = exp
+        .dataset
+        .test
+        .iter()
+        .take(exp.qucad_config.eval_samples)
+        .cloned()
+        .collect();
+
+    // Offline profiling: base-model accuracy per offline day.
+    let stride =
+        (exp.history.offline().len() / exp.qucad_config.max_offline_evals.max(1)).max(1);
+    let sampled: Vec<&CalibrationSnapshot> =
+        exp.history.offline().iter().step_by(stride).collect();
+    eprintln!("[table2] profiling {} offline days ...", sampled.len());
+    let features: Vec<Vec<f64>> = sampled.iter().map(|s| s.feature_vector()).collect();
+    let accs: Vec<f64> = sampled
+        .iter()
+        .map(|snap| {
+            let env = Env::Noisy { exec: &exec, snapshot: snap };
+            evaluate(&exp.model, env, &eval_subset, &exp.base_weights)
+        })
+        .collect();
+
+    let k = 6.min(features.len());
+    let w = performance_weights(&features, &accs);
+    let proposed = kmedians_weighted_l1(&features, &w, k, exp.qucad_config.seed, 60);
+    let l2 = kmeans_l2(&features, k, exp.qucad_config.seed, 60);
+
+    // For each clustering: compress one model per centroid, then score.
+    let score = |name: &str, clustering: &Clustering| -> Vec<String> {
+        eprintln!("[table2] compressing {} centroid models ...", name);
+        let models: Vec<Vec<f64>> = clustering
+            .centroids
+            .iter()
+            .map(|c| {
+                let snap =
+                    CalibrationSnapshot::from_feature_vector(&exp.topology, 0, c);
+                compress(
+                    &exp.model,
+                    &exec,
+                    &exp.dataset.train,
+                    &snap,
+                    &exp.qucad_config.table,
+                    &exp.qucad_config.admm,
+                    &exp.base_weights,
+                )
+                .weights
+            })
+            .collect();
+        // (1) Accuracy at the centroid calibrations.
+        let centroid_acc: Vec<f64> = clustering
+            .centroids
+            .iter()
+            .zip(models.iter())
+            .map(|(c, m)| {
+                let snap =
+                    CalibrationSnapshot::from_feature_vector(&exp.topology, 0, c);
+                let env = Env::Noisy { exec: &exec, snapshot: &snap };
+                evaluate(&exp.model, env, &eval_subset, m)
+            })
+            .collect();
+        // (2) Accuracy of each sample under its cluster's model.
+        let sample_acc: Vec<f64> = sampled
+            .iter()
+            .enumerate()
+            .map(|(i, snap)| {
+                let g = clustering.assignment[i];
+                let env = Env::Noisy { exec: &exec, snapshot: snap };
+                evaluate(&exp.model, env, &eval_subset, &models[g])
+            })
+            .collect();
+        vec![
+            name.to_string(),
+            k.to_string(),
+            pct(mean(&centroid_acc)),
+            pct(mean(&sample_acc)),
+        ]
+    };
+
+    let rows = vec![
+        score("K-Means with L2", &l2),
+        score("Proposed K-Means with dist_w_L1", &proposed),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["Method", "K", "Mean Acc. of Clusters", "Mean Acc. of Samples"],
+            &rows
+        )
+    );
+    println!(
+        "Paper reference: 72.94% / 78.45% (L2) vs 75.83% / 80.68% (proposed) — \
+         the weighted metric should win both columns by a few points."
+    );
+}

@@ -1,0 +1,248 @@
+//! CSV import/export of calibration histories.
+//!
+//! The synthetic generator in [`crate::history`] stands in for real
+//! calibration archives, but the framework works with *any* source of daily
+//! snapshots. This module defines a simple CSV interchange format so users
+//! with access to real backend calibrations (e.g. pulled via Qiskit) can
+//! feed them in:
+//!
+//! ```csv
+//! day,x_err[q0],…,cx_err[q0,q1],…,ro_p01[q0],ro_p10[q0],…
+//! 0,0.000190,…,0.007438,…,0.013,0.019,…
+//! ```
+//!
+//! Columns follow the topology's canonical qubit/edge order; readout errors
+//! are stored as explicit `(p01, p10)` pairs (not collapsed to the mean, so
+//! a round-trip is lossless).
+
+use crate::snapshot::CalibrationSnapshot;
+use crate::topology::Topology;
+use quasim::noise::ReadoutError;
+use std::fmt;
+
+/// Error parsing a calibration CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHistoryError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseHistoryError {
+    fn new(line: usize, reason: impl Into<String>) -> Self {
+        ParseHistoryError { line, reason: reason.into() }
+    }
+
+    /// 1-based line number of the offending row (0 for structural errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseHistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibration csv line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseHistoryError {}
+
+/// The CSV header for a topology.
+pub fn csv_header(topology: &Topology) -> String {
+    let mut cols = vec!["day".to_string()];
+    for q in 0..topology.n_qubits() {
+        cols.push(format!("x_err[q{q}]"));
+    }
+    for &(a, b) in topology.edges() {
+        cols.push(format!("cx_err[q{a},q{b}]"));
+    }
+    for q in 0..topology.n_qubits() {
+        cols.push(format!("ro_p01[q{q}]"));
+        cols.push(format!("ro_p10[q{q}]"));
+    }
+    cols.join(",")
+}
+
+/// Serialises snapshots to CSV (header + one row per day).
+///
+/// # Panics
+///
+/// Panics if a snapshot's qubit count does not match the topology.
+pub fn to_csv(topology: &Topology, snapshots: &[CalibrationSnapshot]) -> String {
+    let mut out = csv_header(topology);
+    out.push('\n');
+    for s in snapshots {
+        assert_eq!(s.n_qubits(), topology.n_qubits(), "snapshot/topology mismatch");
+        let mut cols = vec![s.day.to_string()];
+        for &e in &s.single_qubit_error {
+            cols.push(format!("{e:.17e}"));
+        }
+        for &e in &s.cnot_error {
+            cols.push(format!("{e:.17e}"));
+        }
+        for r in &s.readout {
+            cols.push(format!("{:.17e}", r.p01));
+            cols.push(format!("{:.17e}", r.p10));
+        }
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses snapshots from CSV produced by [`to_csv`] (or hand-assembled in
+/// the same column order).
+///
+/// # Errors
+///
+/// Returns [`ParseHistoryError`] on a malformed header, wrong column count,
+/// unparsable numbers, or error rates outside `[0, 1]`.
+pub fn from_csv(
+    topology: &Topology,
+    text: &str,
+) -> Result<Vec<CalibrationSnapshot>, ParseHistoryError> {
+    let nq = topology.n_qubits();
+    let ne = topology.n_edges();
+    let expect_cols = 1 + nq + ne + 2 * nq;
+
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseHistoryError::new(0, "empty input"))?;
+    if header.trim() != csv_header(topology) {
+        return Err(ParseHistoryError::new(
+            1,
+            format!("header mismatch for topology {}", topology.name()),
+        ));
+    }
+
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != expect_cols {
+            return Err(ParseHistoryError::new(
+                line_no,
+                format!("expected {expect_cols} columns, got {}", cells.len()),
+            ));
+        }
+        let day: usize = cells[0]
+            .trim()
+            .parse()
+            .map_err(|_| ParseHistoryError::new(line_no, "bad day index"))?;
+        let parse_rate = |cell: &str| -> Result<f64, ParseHistoryError> {
+            let v: f64 = cell
+                .trim()
+                .parse()
+                .map_err(|_| ParseHistoryError::new(line_no, "bad number"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ParseHistoryError::new(
+                    line_no,
+                    format!("rate {v} outside [0,1]"),
+                ));
+            }
+            Ok(v)
+        };
+        let mut col = 1usize;
+        let mut single = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            single.push(parse_rate(cells[col])?);
+            col += 1;
+        }
+        let mut cnot = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            cnot.push(parse_rate(cells[col])?);
+            col += 1;
+        }
+        let mut readout = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            let p01 = parse_rate(cells[col])?;
+            let p10 = parse_rate(cells[col + 1])?;
+            col += 2;
+            readout.push(ReadoutError::new(p01, p10));
+        }
+        out.push(CalibrationSnapshot {
+            day,
+            single_qubit_error: single,
+            cnot_error: cnot,
+            readout,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryConfig;
+
+    #[test]
+    fn roundtrip_preserves_history() {
+        let topo = Topology::ibm_belem();
+        let original = HistoryConfig::belem_like(20, 7).generate(&topo);
+        let csv = to_csv(&topo, &original);
+        let parsed = from_csv(&topo, &csv).expect("roundtrip parse");
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.iter().zip(original.iter()) {
+            assert_eq!(a.day, b.day);
+            for (x, y) in a.single_qubit_error.iter().zip(&b.single_qubit_error) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            for (x, y) in a.cnot_error.iter().zip(&b.cnot_error) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            for (x, y) in a.readout.iter().zip(&b.readout) {
+                assert!((x.p01 - y.p01).abs() < 1e-12);
+                assert!((x.p10 - y.p10).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn header_matches_feature_labels_prefix() {
+        let topo = Topology::ibm_jakarta();
+        let header = csv_header(&topo);
+        assert!(header.starts_with("day,x_err[q0]"));
+        assert!(header.contains("cx_err[q0,q1]"));
+        assert!(header.ends_with("ro_p10[q6]"));
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let topo = Topology::ibm_belem();
+        let err = from_csv(&topo, "nope\n1,2,3").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let topo = Topology::ibm_belem();
+        let mut csv = csv_header(&topo);
+        csv.push_str("\n0,0.1,0.2\n");
+        let err = from_csv(&topo, &csv).unwrap_err();
+        assert!(err.to_string().contains("columns"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_rate() {
+        let topo = Topology::line(2);
+        let mut csv = csv_header(&topo);
+        // 1 + 2 + 1 + 4 = 8 columns; make one rate 2.0.
+        csv.push_str("\n0,2.0,1e-4,1e-2,0.01,0.01,0.01,0.01\n");
+        let err = from_csv(&topo, &csv).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let topo = Topology::line(2);
+        let snaps = vec![CalibrationSnapshot::uniform(&topo, 3, 1e-4, 1e-2, 0.02)];
+        let mut csv = to_csv(&topo, &snaps);
+        csv.push('\n');
+        let parsed = from_csv(&topo, &csv).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].day, 3);
+    }
+}

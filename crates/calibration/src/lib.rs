@@ -1,0 +1,40 @@
+//! # calibration — device noise data substrate
+//!
+//! Everything QuCAD knows about a quantum device's noise lives here:
+//!
+//! - [`topology`]: coupling maps (`ibm_belem`, `ibm_jakarta`, generators);
+//! - [`snapshot`]: one day of calibration data (gate/readout/CNOT error
+//!   rates) and its flattening into feature vectors for clustering;
+//! - [`history`]: the seeded synthetic fluctuating-noise generator standing
+//!   in for 13 months of real IBM calibration pulls (DESIGN.md §4);
+//! - [`stats`]: correlation/mean/variance helpers used by the
+//!   performance-aware clustering weights;
+//! - [`io`]: CSV import/export so real backend calibration pulls can be
+//!   substituted for the synthetic history.
+//!
+//! # Examples
+//!
+//! ```
+//! use calibration::history::{FluctuatingHistory, HistoryConfig};
+//! use calibration::topology::Topology;
+//!
+//! let topo = Topology::ibm_belem();
+//! let history = FluctuatingHistory::generate(
+//!     &topo,
+//!     &HistoryConfig::belem_like(389, 42),
+//!     243, // offline days, as in the paper
+//! );
+//! assert_eq!(history.online().len(), 146);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod io;
+pub mod snapshot;
+pub mod stats;
+pub mod topology;
+
+pub use history::{FluctuatingHistory, HistoryConfig};
+pub use snapshot::CalibrationSnapshot;
+pub use topology::Topology;

@@ -1,0 +1,264 @@
+//! Daily calibration snapshots.
+//!
+//! A [`CalibrationSnapshot`] is the per-day noise description the framework
+//! consumes: one single-qubit gate error per qubit, one readout error pair
+//! per qubit, and one CNOT error per coupling edge — the same fields the
+//! paper pulls from IBM backend calibrations (`Dt` historical and `Dc`
+//! current data in Sec. III).
+
+use crate::topology::Topology;
+use quasim::noise::ReadoutError;
+
+/// One day of calibration data for a device.
+///
+/// # Examples
+///
+/// ```
+/// use calibration::topology::Topology;
+/// use calibration::snapshot::CalibrationSnapshot;
+///
+/// let topo = Topology::ibm_belem();
+/// let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-4, 1e-2, 0.02);
+/// assert_eq!(snap.feature_vector().len(), snap.feature_dim());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSnapshot {
+    /// Day index within the history (0-based).
+    pub day: usize,
+    /// Single-qubit gate (Pauli-X) error rate per qubit.
+    pub single_qubit_error: Vec<f64>,
+    /// CNOT error rate per topology edge (canonical edge order).
+    pub cnot_error: Vec<f64>,
+    /// Readout confusion per qubit.
+    pub readout: Vec<ReadoutError>,
+}
+
+impl CalibrationSnapshot {
+    /// Creates a snapshot with uniform error rates across the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    pub fn uniform(
+        topology: &Topology,
+        day: usize,
+        single_qubit: f64,
+        cnot: f64,
+        readout: f64,
+    ) -> Self {
+        for r in [single_qubit, cnot, readout] {
+            assert!((0.0..=1.0).contains(&r), "error rate must be in [0,1]");
+        }
+        CalibrationSnapshot {
+            day,
+            single_qubit_error: vec![single_qubit; topology.n_qubits()],
+            cnot_error: vec![cnot; topology.n_edges()],
+            readout: vec![ReadoutError::symmetric(readout); topology.n_qubits()],
+        }
+    }
+
+    /// Number of qubits the snapshot describes.
+    pub fn n_qubits(&self) -> usize {
+        self.single_qubit_error.len()
+    }
+
+    /// Noise rate associated with a gate on the given physical qubits:
+    /// the paper's `C(A(g_i))`.
+    ///
+    /// One qubit → that qubit's single-qubit error. Two qubits → the CNOT
+    /// error on their edge, or (if not directly coupled, e.g. before
+    /// routing) the maximum CNOT error along any incident edge as a
+    /// conservative proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty, has more than two entries, or indexes
+    /// out of range.
+    pub fn noise_on(&self, topology: &Topology, qubits: &[usize]) -> f64 {
+        match qubits {
+            [q] => {
+                assert!(*q < self.n_qubits(), "qubit {q} out of range");
+                self.single_qubit_error[*q]
+            }
+            [a, b] => {
+                if let Some(idx) = topology.edge_index(*a, *b) {
+                    self.cnot_error[idx]
+                } else {
+                    // Conservative fallback for uncoupled pairs.
+                    topology
+                        .edges()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(x, y))| x == *a || y == *a || x == *b || y == *b)
+                        .map(|(i, _)| self.cnot_error[i])
+                        .fold(0.0, f64::max)
+                }
+            }
+            _ => panic!("gates act on one or two qubits"),
+        }
+    }
+
+    /// Flattens the snapshot to a feature vector for clustering / distance
+    /// computation: `[1q errors… | CNOT errors… | mean readout errors…]`.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.feature_dim());
+        v.extend_from_slice(&self.single_qubit_error);
+        v.extend_from_slice(&self.cnot_error);
+        v.extend(self.readout.iter().map(|r| r.mean_error()));
+        v
+    }
+
+    /// Length of [`CalibrationSnapshot::feature_vector`].
+    pub fn feature_dim(&self) -> usize {
+        self.single_qubit_error.len() + self.cnot_error.len() + self.readout.len()
+    }
+
+    /// Human-readable labels for each feature dimension, aligned with
+    /// [`CalibrationSnapshot::feature_vector`].
+    pub fn feature_labels(topology: &Topology) -> Vec<String> {
+        let mut labels = Vec::new();
+        for q in 0..topology.n_qubits() {
+            labels.push(format!("x_err[q{q}]"));
+        }
+        for &(a, b) in topology.edges() {
+            labels.push(format!("cx_err[q{a},q{b}]"));
+        }
+        for q in 0..topology.n_qubits() {
+            labels.push(format!("ro_err[q{q}]"));
+        }
+        labels
+    }
+
+    /// Reconstructs a snapshot from a feature vector produced by
+    /// [`CalibrationSnapshot::feature_vector`] (inverse mapping). Readout
+    /// errors are rebuilt with the generator's 0.8/1.2 asymmetry around the
+    /// stored mean. Values are clamped to `[0, 1]`.
+    ///
+    /// Used to turn cluster *centroids* (which live in feature space) back
+    /// into snapshots the noisy executor can consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the topology's feature
+    /// dimension.
+    pub fn from_feature_vector(topology: &Topology, day: usize, v: &[f64]) -> Self {
+        let nq = topology.n_qubits();
+        let ne = topology.n_edges();
+        assert_eq!(v.len(), nq + ne + nq, "feature vector length mismatch");
+        let clamp = |x: f64| x.clamp(0.0, 1.0);
+        CalibrationSnapshot {
+            day,
+            single_qubit_error: v[..nq].iter().map(|&x| clamp(x)).collect(),
+            cnot_error: v[nq..nq + ne].iter().map(|&x| clamp(x)).collect(),
+            readout: v[nq + ne..]
+                .iter()
+                .map(|&e| {
+                    ReadoutError::new(clamp(0.8 * e), clamp(1.2 * e))
+                })
+                .collect(),
+        }
+    }
+
+    /// Device-mean CNOT error, a convenient scalar severity measure.
+    pub fn mean_cnot_error(&self) -> f64 {
+        if self.cnot_error.is_empty() {
+            return 0.0;
+        }
+        self.cnot_error.iter().sum::<f64>() / self.cnot_error.len() as f64
+    }
+
+    /// The noisiest edge (index into the topology's edge list) and its rate.
+    pub fn worst_cnot_edge(&self) -> Option<(usize, f64)> {
+        self.cnot_error
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &e)| (i, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> (Topology, CalibrationSnapshot) {
+        let topo = Topology::ibm_belem();
+        let mut s = CalibrationSnapshot::uniform(&topo, 3, 2e-4, 1e-2, 0.02);
+        s.cnot_error[2] = 0.05; // edge (1,3)
+        s.single_qubit_error[4] = 1e-3;
+        (topo, s)
+    }
+
+    #[test]
+    fn noise_on_single_qubit() {
+        let (topo, s) = snap();
+        assert_eq!(s.noise_on(&topo, &[4]), 1e-3);
+        assert_eq!(s.noise_on(&topo, &[0]), 2e-4);
+    }
+
+    #[test]
+    fn noise_on_edge_is_symmetric() {
+        let (topo, s) = snap();
+        assert_eq!(s.noise_on(&topo, &[1, 3]), 0.05);
+        assert_eq!(s.noise_on(&topo, &[3, 1]), 0.05);
+    }
+
+    #[test]
+    fn noise_on_uncoupled_pair_uses_incident_max() {
+        let (topo, s) = snap();
+        // (0, 3) is not an edge; incident edges include (1,3) at 0.05.
+        assert_eq!(s.noise_on(&topo, &[0, 3]), 0.05);
+    }
+
+    #[test]
+    fn feature_vector_layout() {
+        let (topo, s) = snap();
+        let v = s.feature_vector();
+        assert_eq!(v.len(), 5 + 4 + 5);
+        assert_eq!(v[4], 1e-3); // q4 single error
+        assert_eq!(v[5 + 2], 0.05); // edge (1,3)
+        assert!((v[9 + 0] - 0.02).abs() < 1e-12);
+        let labels = CalibrationSnapshot::feature_labels(&topo);
+        assert_eq!(labels.len(), v.len());
+        assert_eq!(labels[7], "cx_err[q1,q3]");
+    }
+
+    #[test]
+    fn worst_edge_found() {
+        let (_, s) = snap();
+        assert_eq!(s.worst_cnot_edge(), Some((2, 0.05)));
+    }
+
+    #[test]
+    fn mean_cnot() {
+        let (_, s) = snap();
+        let expect = (1e-2 * 3.0 + 0.05) / 4.0;
+        assert!((s.mean_cnot_error() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_vector_roundtrip() {
+        let (topo, s) = snap();
+        let v = s.feature_vector();
+        let back = CalibrationSnapshot::from_feature_vector(&topo, s.day, &v);
+        assert_eq!(back.single_qubit_error, s.single_qubit_error);
+        assert_eq!(back.cnot_error, s.cnot_error);
+        for (a, b) in back.readout.iter().zip(s.readout.iter()) {
+            assert!((a.mean_error() - b.mean_error()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_feature_vector_checks_length() {
+        let topo = Topology::ibm_belem();
+        let _ = CalibrationSnapshot::from_feature_vector(&topo, 0, &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn uniform_rejects_bad_rate() {
+        let topo = Topology::ibm_belem();
+        let _ = CalibrationSnapshot::uniform(&topo, 0, -0.1, 0.0, 0.0);
+    }
+}

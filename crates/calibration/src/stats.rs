@@ -1,0 +1,132 @@
+//! Small statistics helpers shared across the workspace.
+//!
+//! Provides the Pearson correlation coefficient used by the paper's
+//! performance-aware clustering weights (`w_j = |cov(X,Y)/(σ_x σ_y)|`,
+//! Sec. III-C), plus mean/variance and a Box–Muller Gaussian sampler so the
+//! workspace does not need a distributions crate.
+
+use rand::Rng;
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(calibration::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient `ρ(X, Y) ∈ [−1, 1]`.
+///
+/// Returns 0 when either series is constant (zero variance) or when the
+/// lengths differ or are below 2, so callers can use it directly as a
+/// clustering weight without special-casing degenerate dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use calibration::stats::pearson_correlation;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = calibration::stats::sample_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_sign_and_bounds() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y_neg = [10.0, 8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&x, &y_neg) + 1.0).abs() < 1e-12);
+        let noise = [0.3, -0.1, 0.25, -0.2, 0.05];
+        let r = pearson_correlation(&x, &noise);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn correlation_degenerate_inputs_are_zero() {
+        assert_eq!(pearson_correlation(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson_correlation(&[1.0, 2.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_normal(&mut rng)).collect();
+        assert!(mean(&samples).abs() < 0.03);
+        assert!((variance(&samples) - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,432 @@
+//! Performance-aware weighted clustering of calibration data
+//! (the paper's Sec. III-C).
+//!
+//! Calibration snapshots are flattened to feature vectors; each dimension
+//! `j` gets a weight `w_j = |ρ(p, C_{:,j})|`, the absolute Pearson
+//! correlation between the base model's accuracy series `p` and that noise
+//! dimension — dimensions the model actually cares about dominate the
+//! metric. Clustering minimises the paper's WSAE objective
+//! `Σ_g Σ_{c∈g} dist^w_{L1}(r_g, c)` with a k-medians loop (per-dimension
+//! medians are the exact L1-optimal centroids). A standard L2 k-means is
+//! included as the Table II baseline.
+
+use calibration::stats::pearson_correlation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centroids in feature space.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index of each input sample.
+    pub assignment: Vec<usize>,
+    /// Per-dimension distance weights used.
+    pub weights: Vec<f64>,
+    /// Final objective value (WSAE for L1, WSSE for L2).
+    pub objective: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of the samples in cluster `g`.
+    pub fn members(&self, g: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == g)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Average weighted distance between centroid `g` and its members — the
+    /// paper's `(dist^w_L1)_g` used to derive the threshold `th_w`.
+    pub fn avg_intra_distance(&self, samples: &[Vec<f64>], g: usize) -> f64 {
+        let members = self.members(g);
+        if members.is_empty() {
+            return 0.0;
+        }
+        members
+            .iter()
+            .map(|&i| weighted_l1(&self.weights, &self.centroids[g], &samples[i]))
+            .sum::<f64>()
+            / members.len() as f64
+    }
+
+    /// The paper's Guidance-1 threshold: `th_w = max_g (dist^w_L1)_g`.
+    pub fn guidance_threshold(&self, samples: &[Vec<f64>]) -> f64 {
+        (0..self.k())
+            .map(|g| self.avg_intra_distance(samples, g))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean of `values` over each cluster's members (e.g. accuracies for
+    /// Guidance 2). Empty clusters yield 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != assignment.len()`.
+    pub fn cluster_means(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.assignment.len(), "length mismatch");
+        (0..self.k())
+            .map(|g| {
+                let members = self.members(g);
+                if members.is_empty() {
+                    0.0
+                } else {
+                    members.iter().map(|&i| values[i]).sum::<f64>() / members.len() as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// The paper's performance-aware weights: `w_j = |ρ(accuracy, C_{:,j})|`.
+///
+/// Degenerate dimensions (constant noise or constant accuracy) get weight 0;
+/// if *all* weights vanish they fall back to uniform 1 so the metric stays
+/// a metric.
+///
+/// # Panics
+///
+/// Panics if sample/accuracy counts differ.
+pub fn performance_weights(samples: &[Vec<f64>], accuracy: &[f64]) -> Vec<f64> {
+    assert_eq!(samples.len(), accuracy.len(), "one accuracy per sample");
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let dim = samples[0].len();
+    let mut w = Vec::with_capacity(dim);
+    for j in 0..dim {
+        let col: Vec<f64> = samples.iter().map(|s| s[j]).collect();
+        w.push(pearson_correlation(&col, accuracy).abs());
+    }
+    if w.iter().all(|&x| x == 0.0) {
+        w.iter_mut().for_each(|x| *x = 1.0);
+    }
+    w
+}
+
+/// Weighted Manhattan distance `dist^w_L1(a, b) = Σ_j w_j·|a_j − b_j|`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn weighted_l1(w: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    assert!(w.len() == a.len() && a.len() == b.len(), "length mismatch");
+    w.iter()
+        .zip(a.iter().zip(b.iter()))
+        .map(|(&wj, (&x, &y))| wj * (x - y).abs())
+        .sum()
+}
+
+/// Squared Euclidean distance (Table II baseline metric).
+pub fn l2_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// k-medians under the weighted L1 metric (the paper's proposed
+/// clustering).
+///
+/// Initialisation is k-means++-style (probability proportional to distance
+/// to the nearest chosen seed), updates take per-dimension medians, and
+/// empty clusters are reseeded to the farthest sample.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > samples.len()`, or `weights` mismatches the
+/// feature dimension.
+pub fn kmedians_weighted_l1(
+    samples: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+) -> Clustering {
+    run_kmeans(samples, weights, k, seed, max_iters, Metric::WeightedL1)
+}
+
+/// Standard k-means with unweighted L2 (Table II baseline).
+///
+/// # Panics
+///
+/// As [`kmedians_weighted_l1`]; `weights` is still used for the reported
+/// objective's dimension count check but distances ignore it.
+pub fn kmeans_l2(samples: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Clustering {
+    let dim = samples.first().map_or(0, |s| s.len());
+    let uniform = vec![1.0; dim];
+    run_kmeans(samples, &uniform, k, seed, max_iters, Metric::L2)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    WeightedL1,
+    L2,
+}
+
+fn run_kmeans(
+    samples: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+    metric: Metric,
+) -> Clustering {
+    assert!(k >= 1, "need at least one cluster");
+    assert!(k <= samples.len(), "more clusters than samples");
+    let dim = samples[0].len();
+    assert!(samples.iter().all(|s| s.len() == dim), "ragged samples");
+    assert_eq!(weights.len(), dim, "weight dimension mismatch");
+
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        match metric {
+            Metric::WeightedL1 => weighted_l1(weights, a, b),
+            Metric::L2 => l2_sq(a, b),
+        }
+    };
+
+    // k-means++ style seeding.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = samples
+            .iter()
+            .map(|s| {
+                centroids
+                    .iter()
+                    .map(|c| dist(c, s))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..samples.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = samples.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(samples[next].clone());
+    }
+
+    let mut assignment = vec![0usize; samples.len()];
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (i, s) in samples.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| dist(&centroids[a], s).total_cmp(&dist(&centroids[b], s)))
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        for g in 0..k {
+            let members: Vec<&Vec<f64>> = samples
+                .iter()
+                .zip(assignment.iter())
+                .filter(|(_, &a)| a == g)
+                .map(|(s, _)| s)
+                .collect();
+            if members.is_empty() {
+                // Reseed to the sample farthest from its centroid.
+                let far = (0..samples.len())
+                    .max_by(|&a, &b| {
+                        dist(&centroids[assignment[a]], &samples[a])
+                            .total_cmp(&dist(&centroids[assignment[b]], &samples[b]))
+                    })
+                    .expect("non-empty samples");
+                centroids[g] = samples[far].clone();
+                continue;
+            }
+            centroids[g] = match metric {
+                Metric::WeightedL1 => {
+                    // Per-dimension median minimises L1 exactly.
+                    (0..dim)
+                        .map(|j| {
+                            let mut col: Vec<f64> =
+                                members.iter().map(|s| s[j]).collect();
+                            col.sort_by(f64::total_cmp);
+                            let m = col.len();
+                            if m % 2 == 1 {
+                                col[m / 2]
+                            } else {
+                                0.5 * (col[m / 2 - 1] + col[m / 2])
+                            }
+                        })
+                        .collect()
+                }
+                Metric::L2 => (0..dim)
+                    .map(|j| members.iter().map(|s| s[j]).sum::<f64>() / members.len() as f64)
+                    .collect(),
+            };
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let objective = samples
+        .iter()
+        .zip(assignment.iter())
+        .map(|(s, &a)| dist(&centroids[a], s))
+        .sum();
+
+    Clustering { centroids, assignment, weights: weights.to_vec(), objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: &[f64], n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + spread * calibration::stats::sample_normal(&mut rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn performance_weights_pick_informative_dims() {
+        // Dim 0 drives accuracy; dim 1 is pure noise.
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let acc: Vec<f64> = samples.iter().map(|s| 1.0 - s[0]).collect();
+        let w = performance_weights(&samples, &acc);
+        assert!(w[0] > 0.95);
+        assert!(w[1] < 0.2);
+    }
+
+    #[test]
+    fn degenerate_weights_fall_back_to_uniform() {
+        let samples = vec![vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]];
+        let acc = vec![0.5, 0.6, 0.7];
+        assert_eq!(performance_weights(&samples, &acc), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_l1_is_a_metric_on_positive_weights() {
+        let w = [0.5, 2.0];
+        let (a, b, c) = ([0.0, 0.0], [1.0, 1.0], [2.0, 0.5]);
+        assert_eq!(weighted_l1(&w, &a, &a), 0.0);
+        assert_eq!(weighted_l1(&w, &a, &b), weighted_l1(&w, &b, &a));
+        assert!(
+            weighted_l1(&w, &a, &c)
+                <= weighted_l1(&w, &a, &b) + weighted_l1(&w, &b, &c) + 1e-12
+        );
+    }
+
+    #[test]
+    fn kmedians_separates_blobs() {
+        let mut samples = blob(&[0.0, 0.0, 0.0], 30, 0.1, 1);
+        samples.extend(blob(&[5.0, 5.0, 5.0], 30, 0.1, 2));
+        let w = vec![1.0; 3];
+        let c = kmedians_weighted_l1(&samples, &w, 2, 7, 50);
+        // All of blob A in one cluster, all of blob B in the other.
+        let first = c.assignment[0];
+        assert!(c.assignment[..30].iter().all(|&a| a == first));
+        assert!(c.assignment[30..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn weighting_changes_the_partition() {
+        // Two groups separated only along dim 1; dim 0 is a decoy with
+        // larger raw scale.
+        let mut samples = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..40 {
+            let decoy = 10.0 * rng.gen::<f64>();
+            let signal = if i % 2 == 0 { 0.0 } else { 1.0 };
+            samples.push(vec![decoy, signal]);
+        }
+        let informed = kmedians_weighted_l1(&samples, &[0.0, 1.0], 2, 5, 50);
+        // With weight only on the signal dim, clusters align with parity.
+        let g0 = informed.assignment[0];
+        for (i, &a) in informed.assignment.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(a, g0, "even sample {i} misassigned");
+            } else {
+                assert_ne!(a, g0, "odd sample {i} misassigned");
+            }
+        }
+    }
+
+    #[test]
+    fn objective_not_worse_than_random_assignment() {
+        let samples = blob(&[1.0, 2.0], 50, 1.0, 9);
+        let w = vec![1.0, 1.0];
+        let c = kmedians_weighted_l1(&samples, &w, 4, 11, 60);
+        // Objective with k=4 must beat k=1 (monotone in k for these data).
+        let c1 = kmedians_weighted_l1(&samples, &w, 1, 11, 60);
+        assert!(c.objective <= c1.objective);
+    }
+
+    #[test]
+    fn guidance_threshold_is_max_intra() {
+        let mut samples = blob(&[0.0, 0.0], 20, 0.05, 1);
+        samples.extend(blob(&[3.0, 3.0], 20, 0.8, 2));
+        let w = vec![1.0, 1.0];
+        let c = kmedians_weighted_l1(&samples, &w, 2, 3, 50);
+        let th = c.guidance_threshold(&samples);
+        let d0 = c.avg_intra_distance(&samples, 0);
+        let d1 = c.avg_intra_distance(&samples, 1);
+        assert!((th - d0.max(d1)).abs() < 1e-12);
+        assert!(th > 0.0);
+    }
+
+    #[test]
+    fn cluster_means_track_member_values() {
+        let samples = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+        let c = kmedians_weighted_l1(&samples, &[1.0], 2, 2, 20);
+        let means = c.cluster_means(&[1.0, 1.0, 0.0, 0.0]);
+        let mut sorted = means.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn l2_baseline_runs_and_converges() {
+        let mut samples = blob(&[0.0, 0.0], 25, 0.2, 5);
+        samples.extend(blob(&[4.0, 4.0], 25, 0.2, 6));
+        let c = kmeans_l2(&samples, 2, 1, 50);
+        assert_eq!(c.k(), 2);
+        let first = c.assignment[0];
+        assert!(c.assignment[..25].iter().all(|&a| a == first));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = blob(&[0.0, 1.0], 30, 0.5, 8);
+        let w = vec![1.0, 1.0];
+        let a = kmedians_weighted_l1(&samples, &w, 3, 21, 40);
+        let b = kmedians_weighted_l1(&samples, &w, 3, 21, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters than samples")]
+    fn k_larger_than_n_rejected() {
+        let _ = kmedians_weighted_l1(&[vec![1.0]], &[1.0], 2, 0, 10);
+    }
+}

@@ -1,0 +1,761 @@
+//! The end-to-end QuCAD framework and the paper's competitor methods.
+//!
+//! [`Qucad::build_offline`] implements the offline model-repository
+//! constructor: evaluate the base model across historical calibrations,
+//! derive performance-aware distance weights, cluster with weighted-L1
+//! k-medians, and run noise-aware compression once per cluster centroid.
+//! [`Qucad::online_day`] implements the online manager: match today's
+//! calibration, reuse on a hit, compress-and-extend on a miss (Guidance 1),
+//! or emit a failure report (Guidance 2).
+//!
+//! [`Method`] + [`run_method`] reproduce all six rows of Table I per
+//! dataset, recording per-day accuracy and training cost (circuit
+//! evaluations, the Fig. 7 cost proxy).
+
+use crate::admm::{compress, AdmmConfig, CompressionOutcome};
+use crate::cluster::{kmedians_weighted_l1, performance_weights};
+use crate::levels::CompressionTable;
+use crate::repository::{MatchOutcome, ModelRepository, RepositoryEntry};
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::data::Sample;
+use qnn::executor::{NoiseOptions, NoisyExecutor};
+use qnn::model::VqcModel;
+use qnn::train::{evaluate, train_spsa_masked, Env, SpsaConfig};
+
+/// Framework configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QucadConfig {
+    /// Number of offline clusters `k`.
+    pub k: usize,
+    /// Compression hyper-parameters.
+    pub admm: AdmmConfig,
+    /// Compression-level table `T`.
+    pub table: CompressionTable,
+    /// Guidance-2 accuracy requirement (`None` disables failure reports).
+    pub accuracy_requirement: Option<f64>,
+    /// Max offline days evaluated for the accuracy series (subsampled
+    /// evenly when the history is longer); bounds offline cost.
+    pub max_offline_evals: usize,
+    /// Test samples per accuracy evaluation.
+    pub eval_samples: usize,
+    /// Multiplier applied to the clustering-derived Guidance-1 threshold
+    /// `th_w`. 1.0 uses the paper's `max_g avg-intra-distance` verbatim;
+    /// larger values trade adaptation frequency for reuse (the offline
+    /// clusters are built from a *sample* of history, so the literal max
+    /// underestimates the day-to-day spread).
+    pub threshold_scale: f64,
+    /// Lower bound on the Guidance-1 threshold, as a fraction of the mean
+    /// offline feature L1 norm. Prevents pathological everyday
+    /// re-compression when the offline history happens to be very calm
+    /// (clusters of near-identical days yield a near-zero `th_w`).
+    pub threshold_floor_frac: f64,
+    /// Relative fallback threshold (fraction of the mean offline feature
+    /// L1 norm) used when no clustering is available (QuCAD w/o offline).
+    pub fallback_threshold_frac: f64,
+    /// K-medians iterations.
+    pub cluster_iters: usize,
+    /// Clustering / subsampling seed.
+    pub seed: u64,
+}
+
+impl Default for QucadConfig {
+    fn default() -> Self {
+        QucadConfig {
+            k: 6,
+            admm: AdmmConfig::default(),
+            table: CompressionTable::standard(),
+            accuracy_requirement: None,
+            max_offline_evals: 64,
+            eval_samples: 50,
+            threshold_scale: 1.6,
+            threshold_floor_frac: 0.06,
+            fallback_threshold_frac: 0.45,
+            cluster_iters: 60,
+            seed: 7,
+        }
+    }
+}
+
+/// Statistics from the offline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineStats {
+    /// Days actually evaluated.
+    pub days_evaluated: usize,
+    /// Base-model accuracy per evaluated day.
+    pub accuracies: Vec<f64>,
+    /// Circuit evaluations spent offline (profiling + compression).
+    pub n_evals: u64,
+    /// Number of repository entries built.
+    pub n_entries: usize,
+    /// The Guidance-1 threshold derived from clustering.
+    pub threshold: f64,
+}
+
+/// What the online manager decided on a given day.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineDecision {
+    /// Reused repository entry `index` (a Guidance-1 hit).
+    Reused {
+        /// Matched entry.
+        index: usize,
+        /// Weighted distance to its centroid.
+        distance: f64,
+    },
+    /// Compressed a fresh model and added it as entry `index`.
+    Compressed {
+        /// Index of the new entry.
+        index: usize,
+    },
+    /// Guidance-2 failure report: predicted accuracy below requirement.
+    /// The entry's weights are still returned so execution can proceed
+    /// with the warning attached.
+    Failure {
+        /// Matched (invalid) entry.
+        index: usize,
+        /// Its predicted accuracy.
+        predicted_accuracy: f64,
+    },
+}
+
+/// The QuCAD framework state.
+#[derive(Debug, Clone)]
+pub struct Qucad {
+    model: VqcModel,
+    exec: NoisyExecutor,
+    config: QucadConfig,
+    repository: ModelRepository,
+    base_weights: Vec<f64>,
+    /// Training samples available for online compressions.
+    train_set: Vec<Sample>,
+}
+
+impl Qucad {
+    /// Builds the framework **with** the offline stage (full QuCAD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offline` has fewer days than `config.k`, or the sets are
+    /// empty.
+    pub fn build_offline(
+        model: &VqcModel,
+        topology: &Topology,
+        noise: NoiseOptions,
+        offline: &[CalibrationSnapshot],
+        train_set: &[Sample],
+        eval_set: &[Sample],
+        base_weights: &[f64],
+        config: &QucadConfig,
+    ) -> (Self, OfflineStats) {
+        assert!(offline.len() >= config.k, "need at least k offline days");
+        assert!(!train_set.is_empty() && !eval_set.is_empty(), "empty data");
+        let exec = NoisyExecutor::new(model, topology, noise);
+        let mut n_evals: u64 = 0;
+
+        // 1. Profile the base model across (subsampled) offline days.
+        let stride = (offline.len() / config.max_offline_evals.max(1)).max(1);
+        let sampled: Vec<&CalibrationSnapshot> =
+            offline.iter().step_by(stride).collect();
+        let eval_subset: Vec<Sample> =
+            eval_set.iter().take(config.eval_samples).cloned().collect();
+        let mut features: Vec<Vec<f64>> = Vec::with_capacity(sampled.len());
+        let mut accuracies: Vec<f64> = Vec::with_capacity(sampled.len());
+        for snap in &sampled {
+            let env = Env::Noisy { exec: &exec, snapshot: snap };
+            let acc = evaluate(model, env, &eval_subset, base_weights);
+            n_evals += eval_subset.len() as u64;
+            features.push(snap.feature_vector());
+            accuracies.push(acc);
+        }
+
+        // 2–4. Performance-aware weights + weighted-L1 k-medians.
+        let weights = performance_weights(&features, &accuracies);
+        let k = config.k.min(features.len());
+        let clustering =
+            kmedians_weighted_l1(&features, &weights, k, config.seed, config.cluster_iters);
+        let mean_norm = features
+            .iter()
+            .map(|f| f.iter().map(|x| x.abs()).sum::<f64>())
+            .sum::<f64>()
+            / features.len().max(1) as f64;
+        let threshold = (clustering.guidance_threshold(&features) * config.threshold_scale)
+            .max(config.threshold_floor_frac * mean_norm);
+        let cluster_acc = clustering.cluster_means(&accuracies);
+
+        // 5. One compression per centroid.
+        let mut repository =
+            ModelRepository::new(weights, threshold, config.accuracy_requirement);
+        for (g, centroid) in clustering.centroids.iter().enumerate() {
+            let snap = CalibrationSnapshot::from_feature_vector(topology, 0, centroid);
+            let out = compress(
+                model,
+                &exec,
+                train_set,
+                &snap,
+                &config.table,
+                &config.admm,
+                base_weights,
+            );
+            n_evals += out.n_evals;
+            repository.push(RepositoryEntry {
+                centroid: centroid.clone(),
+                weights: out.weights,
+                mean_accuracy: Some(cluster_acc[g]),
+                origin_day: sampled.first().map_or(0, |s| s.day),
+            });
+        }
+
+        let stats = OfflineStats {
+            days_evaluated: sampled.len(),
+            accuracies,
+            n_evals,
+            n_entries: repository.len(),
+            threshold,
+        };
+        let qucad = Qucad {
+            model: model.clone(),
+            exec,
+            config: config.clone(),
+            repository,
+            base_weights: base_weights.to_vec(),
+            train_set: train_set.to_vec(),
+        };
+        (qucad, stats)
+    }
+
+    /// Builds the framework **without** the offline stage ("QuCAD w/o
+    /// offline" in Table I): an empty repository with uniform distance
+    /// weights and a relative threshold derived from `reference_day`.
+    pub fn build_without_offline(
+        model: &VqcModel,
+        topology: &Topology,
+        noise: NoiseOptions,
+        reference_day: &CalibrationSnapshot,
+        train_set: &[Sample],
+        base_weights: &[f64],
+        config: &QucadConfig,
+    ) -> Self {
+        let exec = NoisyExecutor::new(model, topology, noise);
+        let f = reference_day.feature_vector();
+        let norm: f64 = f.iter().map(|x| x.abs()).sum();
+        let threshold = config.fallback_threshold_frac * norm;
+        let repository = ModelRepository::new(
+            vec![1.0; f.len()],
+            threshold,
+            config.accuracy_requirement,
+        );
+        Qucad {
+            model: model.clone(),
+            exec,
+            config: config.clone(),
+            repository,
+            base_weights: base_weights.to_vec(),
+            train_set: train_set.to_vec(),
+        }
+    }
+
+    /// The repository (for inspection).
+    pub fn repository(&self) -> &ModelRepository {
+        &self.repository
+    }
+
+    /// The routed noisy executor.
+    pub fn executor(&self) -> &NoisyExecutor {
+        &self.exec
+    }
+
+    /// Online adaptation for one day: returns the weights to run plus the
+    /// manager's decision and the training cost incurred (0 on reuse).
+    pub fn online_day(
+        &mut self,
+        snapshot: &CalibrationSnapshot,
+    ) -> (Vec<f64>, OnlineDecision, u64) {
+        match self.repository.match_snapshot(snapshot) {
+            MatchOutcome::Hit { index, distance } => (
+                self.repository.weights_of(index).to_vec(),
+                OnlineDecision::Reused { index, distance },
+                0,
+            ),
+            MatchOutcome::Invalid { index, predicted_accuracy } => (
+                self.repository.weights_of(index).to_vec(),
+                OnlineDecision::Failure { index, predicted_accuracy },
+                0,
+            ),
+            MatchOutcome::Miss { .. } => {
+                let out = self.compress_for(snapshot);
+                let index = self.repository.len();
+                self.repository.push(RepositoryEntry {
+                    centroid: snapshot.feature_vector(),
+                    weights: out.weights.clone(),
+                    mean_accuracy: None,
+                    origin_day: snapshot.day,
+                });
+                (out.weights, OnlineDecision::Compressed { index }, out.n_evals)
+            }
+        }
+    }
+
+    fn compress_for(&self, snapshot: &CalibrationSnapshot) -> CompressionOutcome {
+        compress(
+            &self.model,
+            &self.exec,
+            &self.train_set,
+            snapshot,
+            &self.config.table,
+            &self.config.admm,
+            &self.base_weights,
+        )
+    }
+}
+
+// --- Competitor methods (Table I rows) --------------------------------------
+
+/// The six methods compared in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Train noise-free once; never adapt.
+    Baseline,
+    /// Noise-aware (noise-injection) training on day 1 only \[12].
+    NoiseAwareOnce,
+    /// Noise-aware training repeated every day.
+    NoiseAwareEveryday,
+    /// Noise-agnostic compression on day 1 only \[23].
+    OneTimeCompression,
+    /// Noise-aware compression repeated every day (Fig. 7/9 reference).
+    CompressionEveryday,
+    /// QuCAD with an empty starting repository.
+    QucadWithoutOffline,
+    /// Full QuCAD (offline repository + online manager).
+    Qucad,
+}
+
+impl Method {
+    /// Table-ready method name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Baseline => "Baseline",
+            Method::NoiseAwareOnce => "Noise-aware Train Once",
+            Method::NoiseAwareEveryday => "Noise-aware Train Everyday",
+            Method::OneTimeCompression => "One-time Compression",
+            Method::CompressionEveryday => "Compression Everyday",
+            Method::QucadWithoutOffline => "QuCAD w/o offline",
+            Method::Qucad => "QuCAD (ours)",
+        }
+    }
+
+    /// All Table I methods in row order.
+    pub fn table1() -> [Method; 6] {
+        [
+            Method::Baseline,
+            Method::NoiseAwareOnce,
+            Method::NoiseAwareEveryday,
+            Method::OneTimeCompression,
+            Method::QucadWithoutOffline,
+            Method::Qucad,
+        ]
+    }
+}
+
+/// One day of an online evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayRecord {
+    /// Day index in the history.
+    pub day: usize,
+    /// Test accuracy under that day's noise.
+    pub accuracy: f64,
+    /// Training-circuit evaluations spent adapting on this day.
+    pub train_evals: u64,
+    /// Whether a Guidance-2 failure was reported.
+    pub failure_reported: bool,
+}
+
+/// A full online run of one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodRun {
+    /// Which method produced this run.
+    pub method: Method,
+    /// Per-day records over the online phase.
+    pub records: Vec<DayRecord>,
+    /// Training cost spent *before* the online phase (offline stage /
+    /// day-1 adaptation).
+    pub setup_evals: u64,
+}
+
+impl MethodRun {
+    /// Accuracy series.
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.accuracy).collect()
+    }
+
+    /// Total online training cost.
+    pub fn online_evals(&self) -> u64 {
+        self.records.iter().map(|r| r.train_evals).sum()
+    }
+}
+
+/// Everything a method run needs.
+#[derive(Debug, Clone)]
+pub struct RunContext<'a> {
+    /// The QNN model.
+    pub model: &'a VqcModel,
+    /// Device topology.
+    pub topology: &'a Topology,
+    /// Noise mapping options.
+    pub noise: NoiseOptions,
+    /// Offline (historical) calibration days.
+    pub offline: &'a [CalibrationSnapshot],
+    /// Online calibration days to evaluate over.
+    pub online: &'a [CalibrationSnapshot],
+    /// Training samples.
+    pub train_set: &'a [Sample],
+    /// Held-out test samples.
+    pub test_set: &'a [Sample],
+    /// Noise-free-trained base weights shared by every method.
+    pub base_weights: &'a [f64],
+    /// Framework configuration.
+    pub config: &'a QucadConfig,
+    /// Noise-aware (noise-injection) training configuration for the \[12]
+    /// baselines; SPSA because the objective runs through the noisy
+    /// executor.
+    pub nat_config: SpsaConfig,
+}
+
+/// Runs `method` over the online phase, recording per-day accuracy and
+/// training cost.
+///
+/// # Panics
+///
+/// Panics if the context's sets are empty.
+pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
+    assert!(!ctx.online.is_empty(), "no online days to run");
+    let exec = NoisyExecutor::new(ctx.model, ctx.topology, ctx.noise);
+    let eval_subset: Vec<Sample> =
+        ctx.test_set.iter().take(ctx.config.eval_samples).cloned().collect();
+    let all_trainable = vec![true; ctx.model.n_weights()];
+
+    let eval_day = |weights: &[f64], snap: &CalibrationSnapshot| -> f64 {
+        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        evaluate(ctx.model, env, &eval_subset, weights)
+    };
+
+    let nat_finetune = |init: &[f64], snap: &CalibrationSnapshot, seed: u64| {
+        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        let cfg = SpsaConfig { seed, ..ctx.nat_config };
+        train_spsa_masked(ctx.model, ctx.train_set, env, &cfg, init, &all_trainable)
+    };
+
+    let mut records = Vec::with_capacity(ctx.online.len());
+    let mut setup_evals: u64 = 0;
+
+    match method {
+        Method::Baseline => {
+            for snap in ctx.online {
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(ctx.base_weights, snap),
+                    train_evals: 0,
+                    failure_reported: false,
+                });
+            }
+        }
+        Method::NoiseAwareOnce => {
+            let day1 = &ctx.online[0];
+            let result = nat_finetune(ctx.base_weights, day1, 101);
+            setup_evals = result.n_evals;
+            for snap in ctx.online {
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(&result.weights, snap),
+                    train_evals: 0,
+                    failure_reported: false,
+                });
+            }
+        }
+        Method::NoiseAwareEveryday => {
+            let mut weights = ctx.base_weights.to_vec();
+            for snap in ctx.online {
+                let result = nat_finetune(&weights, snap, 1000 + snap.day as u64);
+                weights = result.weights;
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(&weights, snap),
+                    train_evals: result.n_evals,
+                    failure_reported: false,
+                });
+            }
+        }
+        Method::OneTimeCompression => {
+            // Noise-agnostic compression on day 1 (prior work [23]):
+            // minimise circuit length, so select by closeness-to-level
+            // alone with a fixed budget.
+            let day1 = &ctx.online[0];
+            let cfg = AdmmConfig {
+                noise_aware: false,
+                rule: crate::mask::SelectionRule::TopFraction(0.5),
+                ..ctx.config.admm
+            };
+            let out = compress(
+                ctx.model,
+                &exec,
+                ctx.train_set,
+                day1,
+                &ctx.config.table,
+                &cfg,
+                ctx.base_weights,
+            );
+            setup_evals = out.n_evals;
+            for snap in ctx.online {
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(&out.weights, snap),
+                    train_evals: 0,
+                    failure_reported: false,
+                });
+            }
+        }
+        Method::CompressionEveryday => {
+            for snap in ctx.online {
+                let out = compress(
+                    ctx.model,
+                    &exec,
+                    ctx.train_set,
+                    snap,
+                    &ctx.config.table,
+                    &ctx.config.admm,
+                    ctx.base_weights,
+                );
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(&out.weights, snap),
+                    train_evals: out.n_evals,
+                    failure_reported: false,
+                });
+            }
+        }
+        Method::QucadWithoutOffline => {
+            let mut qucad = Qucad::build_without_offline(
+                ctx.model,
+                ctx.topology,
+                ctx.noise,
+                &ctx.online[0],
+                ctx.train_set,
+                ctx.base_weights,
+                ctx.config,
+            );
+            for snap in ctx.online {
+                let (weights, decision, evals) = qucad.online_day(snap);
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(&weights, snap),
+                    train_evals: evals,
+                    failure_reported: matches!(decision, OnlineDecision::Failure { .. }),
+                });
+            }
+        }
+        Method::Qucad => {
+            let (mut qucad, stats) = Qucad::build_offline(
+                ctx.model,
+                ctx.topology,
+                ctx.noise,
+                ctx.offline,
+                ctx.train_set,
+                ctx.test_set,
+                ctx.base_weights,
+                ctx.config,
+            );
+            setup_evals = stats.n_evals;
+            for snap in ctx.online {
+                let (weights, decision, evals) = qucad.online_day(snap);
+                records.push(DayRecord {
+                    day: snap.day,
+                    accuracy: eval_day(&weights, snap),
+                    train_evals: evals,
+                    failure_reported: matches!(decision, OnlineDecision::Failure { .. }),
+                });
+            }
+        }
+    }
+
+    MethodRun { method, records, setup_evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibration::history::{FluctuatingHistory, HistoryConfig};
+    use qnn::data::Dataset;
+    use qnn::train::{train, TrainConfig};
+
+    fn tiny_ctx() -> (
+        VqcModel,
+        Topology,
+        FluctuatingHistory,
+        Dataset,
+        Vec<f64>,
+        QucadConfig,
+    ) {
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let topo = Topology::ibm_belem();
+        let history =
+            FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(30, 5), 20);
+        let data = Dataset::iris(3).truncated(24, 20);
+        let base = train(
+            &model,
+            &data.train,
+            Env::Pure,
+            &TrainConfig { epochs: 4, batch_size: 8, ..TrainConfig::default() },
+            &model.init_weights(1),
+        )
+        .weights;
+        let config = QucadConfig {
+            k: 3,
+            max_offline_evals: 8,
+            eval_samples: 16,
+            admm: AdmmConfig {
+                rounds: 2,
+                theta_steps: 1,
+                batch_size: 6,
+                finetune_steps: 0,
+                ..AdmmConfig::default()
+            },
+            ..QucadConfig::default()
+        };
+        (model, topo, history, data, base, config)
+    }
+
+    #[test]
+    fn offline_stage_builds_k_entries() {
+        let (model, topo, history, data, base, config) = tiny_ctx();
+        let (qucad, stats) = Qucad::build_offline(
+            &model,
+            &topo,
+            NoiseOptions::default(),
+            history.offline(),
+            &data.train,
+            &data.test,
+            &base,
+            &config,
+        );
+        assert_eq!(stats.n_entries, 3);
+        assert_eq!(qucad.repository().len(), 3);
+        assert!(stats.threshold > 0.0);
+        assert!(stats.n_evals > 0);
+        assert_eq!(stats.accuracies.len(), stats.days_evaluated);
+    }
+
+    #[test]
+    fn online_reuse_is_free_and_miss_compresses() {
+        let (model, topo, history, data, base, config) = tiny_ctx();
+        let (mut qucad, _) = Qucad::build_offline(
+            &model,
+            &topo,
+            NoiseOptions::default(),
+            history.offline(),
+            &data.train,
+            &data.test,
+            &base,
+            &config,
+        );
+        let n0 = qucad.repository().len();
+        let mut any_reuse = false;
+        let mut any_compress = false;
+        for snap in history.online() {
+            let (_, decision, evals) = qucad.online_day(snap);
+            match decision {
+                OnlineDecision::Reused { .. } => {
+                    assert_eq!(evals, 0);
+                    any_reuse = true;
+                }
+                OnlineDecision::Compressed { .. } => {
+                    assert!(evals > 0);
+                    any_compress = true;
+                }
+                OnlineDecision::Failure { .. } => {}
+            }
+        }
+        assert!(any_reuse, "repository was never reused");
+        // Growth only if misses occurred.
+        assert_eq!(
+            qucad.repository().len() > n0,
+            any_compress,
+            "repository growth must match compression events"
+        );
+    }
+
+    #[test]
+    fn without_offline_starts_empty_and_grows() {
+        let (model, topo, history, data, base, config) = tiny_ctx();
+        let mut qucad = Qucad::build_without_offline(
+            &model,
+            &topo,
+            NoiseOptions::default(),
+            &history.online()[0],
+            &data.train,
+            &base,
+            &config,
+        );
+        assert!(qucad.repository().is_empty());
+        let (_, decision, evals) = qucad.online_day(&history.online()[0]);
+        assert!(matches!(decision, OnlineDecision::Compressed { .. }));
+        assert!(evals > 0);
+        assert_eq!(qucad.repository().len(), 1);
+    }
+
+    #[test]
+    fn run_method_baseline_and_qucad_cover_all_days() {
+        let (model, topo, history, data, base, config) = tiny_ctx();
+        let ctx = RunContext {
+            model: &model,
+            topology: &topo,
+            noise: NoiseOptions::default(),
+            offline: history.offline(),
+            online: &history.online()[..5],
+            train_set: &data.train,
+            test_set: &data.test,
+            base_weights: &base,
+            config: &config,
+            nat_config: SpsaConfig { steps: 6, batch_size: 6, ..SpsaConfig::default() },
+        };
+        let run = run_method(Method::Baseline, &ctx);
+        assert_eq!(run.records.len(), 5);
+        assert_eq!(run.online_evals(), 0);
+        let run = run_method(Method::Qucad, &ctx);
+        assert_eq!(run.records.len(), 5);
+        assert!(run.setup_evals > 0);
+        for r in &run.records {
+            assert!((0.0..=1.0).contains(&r.accuracy));
+        }
+    }
+
+    #[test]
+    fn guidance_two_failure_reported_with_requirement() {
+        let (model, topo, history, data, base, mut config) = tiny_ctx();
+        // Absurdly high requirement → every valid match becomes a failure.
+        config.accuracy_requirement = Some(1.01);
+        let (mut qucad, _) = Qucad::build_offline(
+            &model,
+            &topo,
+            NoiseOptions::default(),
+            history.offline(),
+            &data.train,
+            &data.test,
+            &base,
+            &config,
+        );
+        let mut any_failure = false;
+        for snap in history.online() {
+            let (_, decision, _) = qucad.online_day(snap);
+            if matches!(decision, OnlineDecision::Failure { .. }) {
+                any_failure = true;
+                break;
+            }
+        }
+        assert!(any_failure, "expected at least one Guidance-2 failure report");
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(Method::Qucad.name(), "QuCAD (ours)");
+        assert_eq!(Method::table1().len(), 6);
+    }
+}

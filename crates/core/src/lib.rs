@@ -1,0 +1,62 @@
+//! # qucad — compression-aided framework for noise-robust QNNs
+//!
+//! Reproduction of *"Battle Against Fluctuating Quantum Noise:
+//! Compression-Aided Framework to Enable Robust Quantum Neural Network"*
+//! (Hu, Lin, Guan, Jiang — DAC 2023, arXiv:2304.04666).
+//!
+//! The framework adapts a trained QNN to fluctuating device noise through
+//! three cooperating pieces:
+//!
+//! - [`admm`]: **noise-aware compression** — ADMM pruning/quantisation of
+//!   rotation parameters toward the [`levels::CompressionTable`] breakpoint
+//!   angles, guided by the noise-aware [`mask`] priorities
+//!   `p_i = C(A(g_i))/d_i`, finished with noise-injection fine-tuning;
+//! - [`cluster`] + [`repository`]: the **offline constructor** — weighted-L1
+//!   k-medians over historical calibrations with performance-aware weights,
+//!   one compressed model per centroid;
+//! - [`framework`]: the **online manager** — match today's calibration,
+//!   reuse on a hit, compress-and-extend on a Guidance-1 miss, report
+//!   failure on a Guidance-2 invalid match — plus all Table I competitor
+//!   methods.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use calibration::history::{FluctuatingHistory, HistoryConfig};
+//! use calibration::topology::Topology;
+//! use qnn::data::Dataset;
+//! use qnn::executor::NoiseOptions;
+//! use qnn::model::VqcModel;
+//! use qnn::train::{train, Env, TrainConfig};
+//! use qucad::framework::{Qucad, QucadConfig};
+//!
+//! let topo = Topology::ibm_belem();
+//! let history = FluctuatingHistory::generate(
+//!     &topo, &HistoryConfig::belem_like(389, 42), 243);
+//! let data = Dataset::iris(7);
+//! let model = VqcModel::paper_model(4, 3, 4, 3);
+//! let base = train(&model, &data.train, Env::Pure,
+//!                  &TrainConfig::default(), &model.init_weights(0)).weights;
+//! let (mut qucad, stats) = Qucad::build_offline(
+//!     &model, &topo, NoiseOptions::default(), history.offline(),
+//!     &data.train, &data.test, &base, &QucadConfig::default());
+//! for day in history.online() {
+//!     let (weights, decision, cost) = qucad.online_day(day);
+//!     println!("day {}: {:?} (cost {})", day.day, decision, cost);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admm;
+pub mod cluster;
+pub mod framework;
+pub mod levels;
+pub mod mask;
+pub mod report;
+pub mod repository;
+
+pub use admm::{compress, AdmmConfig, CompressionOutcome};
+pub use framework::{run_method, Method, MethodRun, Qucad, QucadConfig, RunContext};
+pub use levels::CompressionTable;
+pub use repository::{MatchOutcome, ModelRepository, RepositoryEntry};

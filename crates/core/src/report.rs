@@ -1,0 +1,183 @@
+//! Table formatting and summary statistics for experiment output.
+//!
+//! Converts per-day accuracy series into the columns Table I reports (mean
+//! accuracy, variance, days over 0.8/0.7/0.5) and renders aligned text
+//! tables for the bench binaries.
+
+use calibration::stats::{mean, variance};
+
+/// Table I summary of one method's accuracy series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesSummary {
+    /// Mean accuracy over the series.
+    pub mean_accuracy: f64,
+    /// Population variance of the series.
+    pub variance: f64,
+    /// Days with accuracy > 0.8.
+    pub days_over_80: usize,
+    /// Days with accuracy > 0.7.
+    pub days_over_70: usize,
+    /// Days with accuracy > 0.5.
+    pub days_over_50: usize,
+}
+
+impl SeriesSummary {
+    /// Summarises an accuracy series.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qucad::report::SeriesSummary;
+    ///
+    /// let s = SeriesSummary::from_series(&[0.9, 0.75, 0.4]);
+    /// assert_eq!(s.days_over_80, 1);
+    /// assert_eq!(s.days_over_70, 2);
+    /// assert_eq!(s.days_over_50, 2);
+    /// ```
+    pub fn from_series(acc: &[f64]) -> Self {
+        SeriesSummary {
+            mean_accuracy: mean(acc),
+            variance: variance(acc),
+            days_over_80: acc.iter().filter(|&&a| a > 0.8).count(),
+            days_over_70: acc.iter().filter(|&&a| a > 0.7).count(),
+            days_over_50: acc.iter().filter(|&&a| a > 0.5).count(),
+        }
+    }
+}
+
+/// Renders an aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use qucad::report::render_table;
+///
+/// let t = render_table(
+///     &["method", "acc"],
+///     &[vec!["Baseline".into(), "0.59".into()]],
+/// );
+/// assert!(t.contains("Baseline"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any row length differs from the header length.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    for r in rows {
+        assert_eq!(r.len(), ncols, "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let sep = {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals (e.g. `"75.67%"`).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats a signed percentage-point delta (e.g. `"+16.32%"`).
+pub fn pct_delta(x: f64) -> String {
+    format!("{:+.2}%", 100.0 * x)
+}
+
+/// Writes CSV (comma-separated, header first) for downstream plotting.
+///
+/// # Panics
+///
+/// Panics if any row length differs from the header length.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut out = headers.join(",");
+    out.push('\n');
+    for r in rows {
+        assert_eq!(r.len(), ncols, "row width mismatch");
+        out.push_str(&r.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_thresholds() {
+        let s = SeriesSummary::from_series(&[0.85, 0.81, 0.71, 0.55, 0.2]);
+        assert_eq!(s.days_over_80, 2);
+        assert_eq!(s.days_over_70, 3);
+        assert_eq!(s.days_over_50, 4);
+        assert!((s.mean_accuracy - 0.624).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_series() {
+        let s = SeriesSummary::from_series(&[]);
+        assert_eq!(s.mean_accuracy, 0.0);
+        assert_eq!(s.days_over_50, 0);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.7567), "75.67%");
+        assert_eq!(pct_delta(0.1632), "+16.32%");
+        assert_eq!(pct_delta(-0.0065), "-0.65%");
+    }
+
+    #[test]
+    fn csv_output() {
+        let csv = to_csv(&["day", "acc"], &[vec!["0".into(), "0.8".into()]]);
+        assert_eq!(csv, "day,acc\n0,0.8\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

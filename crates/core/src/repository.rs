@@ -1,0 +1,295 @@
+//! The model repository: offline-built `(model, calibration)` pairs and the
+//! online matching logic (the paper's Sec. III-C/III-D).
+//!
+//! Each [`RepositoryEntry`] pairs a compressed model `M'` with the
+//! calibration centroid `D'` it was optimised for. Online, the manager
+//! matches the day's calibration `Dc` against the entries under the
+//! weighted L1 distance and applies the two guidance rules:
+//!
+//! - **Guidance 1**: if the nearest entry is farther than
+//!   `th_w = max_g avg-intra-cluster-distance(g)`, predict degradation and
+//!   request a fresh compression (the new pair joins the repository);
+//! - **Guidance 2**: entries whose cluster mean accuracy falls below the
+//!   user's requirement are *invalid*; matching one yields a failure
+//!   report instead of a model.
+
+use crate::cluster::weighted_l1;
+use calibration::snapshot::CalibrationSnapshot;
+
+/// One repository item: a compressed model and its calibration centroid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepositoryEntry {
+    /// Calibration feature vector the model was compressed for (`D'`).
+    pub centroid: Vec<f64>,
+    /// Compressed model weights (`M'`).
+    pub weights: Vec<f64>,
+    /// Mean accuracy of the originating cluster (Guidance 2 signal);
+    /// `None` when unknown (e.g. online-added entries).
+    pub mean_accuracy: Option<f64>,
+    /// Day the entry was created (offline entries use the centroid's
+    /// nominal day 0).
+    pub origin_day: usize,
+}
+
+/// Outcome of matching a day's calibration against the repository.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchOutcome {
+    /// Use entry `index`; its weighted distance was within threshold.
+    Hit {
+        /// Index of the matched entry.
+        index: usize,
+        /// Weighted L1 distance to the matched centroid.
+        distance: f64,
+    },
+    /// No entry is close enough (Guidance 1): compress a new model.
+    Miss {
+        /// Distance to the nearest entry (`∞` when the repository is empty).
+        nearest_distance: f64,
+    },
+    /// The nearest entry is an invalid cluster (Guidance 2): report
+    /// failure to the user instead of serving a model.
+    Invalid {
+        /// Index of the invalid matched entry.
+        index: usize,
+        /// Its predicted (cluster-mean) accuracy.
+        predicted_accuracy: f64,
+    },
+}
+
+/// The repository plus its matching policy.
+///
+/// # Examples
+///
+/// ```
+/// use qucad::repository::{ModelRepository, RepositoryEntry, MatchOutcome};
+///
+/// let mut repo = ModelRepository::new(vec![1.0, 1.0], 0.5, None);
+/// repo.push(RepositoryEntry {
+///     centroid: vec![0.0, 0.0],
+///     weights: vec![0.1, 0.2],
+///     mean_accuracy: Some(0.9),
+///     origin_day: 0,
+/// });
+/// assert!(matches!(repo.match_features(&[0.1, 0.1]), MatchOutcome::Hit { .. }));
+/// assert!(matches!(repo.match_features(&[9.0, 9.0]), MatchOutcome::Miss { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRepository {
+    entries: Vec<RepositoryEntry>,
+    distance_weights: Vec<f64>,
+    threshold: f64,
+    accuracy_requirement: Option<f64>,
+}
+
+impl ModelRepository {
+    /// Creates an empty repository.
+    ///
+    /// `distance_weights` are the performance-aware per-dimension weights;
+    /// `threshold` is Guidance 1's `th_w`; `accuracy_requirement` enables
+    /// Guidance 2 when set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn new(
+        distance_weights: Vec<f64>,
+        threshold: f64,
+        accuracy_requirement: Option<f64>,
+    ) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a finite non-negative number"
+        );
+        ModelRepository {
+            entries: Vec::new(),
+            distance_weights,
+            threshold,
+            accuracy_requirement,
+        }
+    }
+
+    /// The stored entries.
+    pub fn entries(&self) -> &[RepositoryEntry] {
+        &self.entries
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Guidance-1 distance threshold `th_w`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The per-dimension distance weights.
+    pub fn distance_weights(&self) -> &[f64] {
+        &self.distance_weights
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the centroid dimension mismatches the distance weights.
+    pub fn push(&mut self, entry: RepositoryEntry) {
+        assert_eq!(
+            entry.centroid.len(),
+            self.distance_weights.len(),
+            "centroid dimension mismatch"
+        );
+        self.entries.push(entry);
+    }
+
+    /// Matches a calibration feature vector against the repository.
+    pub fn match_features(&self, features: &[f64]) -> MatchOutcome {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let d = weighted_l1(&self.distance_weights, &e.centroid, features);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            None => MatchOutcome::Miss { nearest_distance: f64::INFINITY },
+            Some((index, distance)) => {
+                if distance > self.threshold {
+                    MatchOutcome::Miss { nearest_distance: distance }
+                } else if let (Some(req), Some(acc)) =
+                    (self.accuracy_requirement, self.entries[index].mean_accuracy)
+                {
+                    if acc < req {
+                        MatchOutcome::Invalid { index, predicted_accuracy: acc }
+                    } else {
+                        MatchOutcome::Hit { index, distance }
+                    }
+                } else {
+                    MatchOutcome::Hit { index, distance }
+                }
+            }
+        }
+    }
+
+    /// Convenience: matches a snapshot by its feature vector.
+    pub fn match_snapshot(&self, snapshot: &CalibrationSnapshot) -> MatchOutcome {
+        self.match_features(&snapshot.feature_vector())
+    }
+
+    /// Weights of entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn weights_of(&self, index: usize) -> &[f64] {
+        &self.entries[index].weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(centroid: Vec<f64>, acc: Option<f64>) -> RepositoryEntry {
+        RepositoryEntry {
+            weights: vec![0.0; 4],
+            centroid,
+            mean_accuracy: acc,
+            origin_day: 0,
+        }
+    }
+
+    fn repo() -> ModelRepository {
+        let mut r = ModelRepository::new(vec![1.0, 2.0], 1.0, Some(0.6));
+        r.push(entry(vec![0.0, 0.0], Some(0.9)));
+        r.push(entry(vec![10.0, 0.0], Some(0.4))); // invalid cluster
+        r
+    }
+
+    #[test]
+    fn empty_repository_always_misses() {
+        let r = ModelRepository::new(vec![1.0], 5.0, None);
+        match r.match_features(&[0.0]) {
+            MatchOutcome::Miss { nearest_distance } => {
+                assert!(nearest_distance.is_infinite())
+            }
+            other => panic!("expected Miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_centroid_hits() {
+        let r = repo();
+        match r.match_features(&[0.2, 0.1]) {
+            MatchOutcome::Hit { index, distance } => {
+                assert_eq!(index, 0);
+                // 1·0.2 + 2·0.1
+                assert!((distance - 0.4).abs() < 1e-12);
+            }
+            other => panic!("expected Hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn far_calibration_misses_with_distance() {
+        let r = repo();
+        match r.match_features(&[5.0, 0.0]) {
+            MatchOutcome::Miss { nearest_distance } => {
+                assert!((nearest_distance - 5.0).abs() < 1e-12)
+            }
+            other => panic!("expected Miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_cluster_reports_failure() {
+        let r = repo();
+        match r.match_features(&[10.1, 0.0]) {
+            MatchOutcome::Invalid { index, predicted_accuracy } => {
+                assert_eq!(index, 1);
+                assert!((predicted_accuracy - 0.4).abs() < 1e-12);
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_requirement_disables_guidance_two() {
+        let mut r = ModelRepository::new(vec![1.0, 1.0], 1.0, None);
+        r.push(entry(vec![0.0, 0.0], Some(0.1)));
+        assert!(matches!(r.match_features(&[0.0, 0.0]), MatchOutcome::Hit { .. }));
+    }
+
+    #[test]
+    fn weighted_distance_used_for_matching() {
+        // Weight 0 on dim 0 → differences there are ignored.
+        let mut r = ModelRepository::new(vec![0.0, 1.0], 0.5, None);
+        r.push(entry(vec![0.0, 0.0], None));
+        assert!(matches!(
+            r.match_features(&[100.0, 0.1]),
+            MatchOutcome::Hit { .. }
+        ));
+        assert!(matches!(
+            r.match_features(&[0.0, 2.0]),
+            MatchOutcome::Miss { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid dimension")]
+    fn dimension_mismatch_rejected() {
+        let mut r = ModelRepository::new(vec![1.0, 1.0], 1.0, None);
+        r.push(entry(vec![0.0], None));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn negative_threshold_rejected() {
+        let _ = ModelRepository::new(vec![1.0], -1.0, None);
+    }
+}

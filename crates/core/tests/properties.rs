@@ -1,0 +1,172 @@
+//! Property-based tests of the QuCAD core algorithms.
+
+use proptest::prelude::*;
+use qucad::cluster::{
+    kmedians_weighted_l1, l2_sq, performance_weights, weighted_l1,
+};
+use qucad::levels::{circular_distance, normalize, CompressionTable};
+use qucad::mask::SelectionRule;
+use qucad::report::SeriesSummary;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Angle normalisation lands in [0, 2π) and preserves the angle class.
+    #[test]
+    fn normalize_is_canonical(theta in -50.0f64..50.0) {
+        let a = normalize(theta);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&a));
+        // sin/cos agree → same angle modulo 2π.
+        prop_assert!((theta.sin() - a.sin()).abs() < 1e-9);
+        prop_assert!((theta.cos() - a.cos()).abs() < 1e-9);
+    }
+
+    /// Circular distance is a metric on the circle (symmetry + triangle).
+    #[test]
+    fn circular_distance_metric(
+        a in 0.0f64..std::f64::consts::TAU,
+        b in 0.0f64..std::f64::consts::TAU,
+        c in 0.0f64..std::f64::consts::TAU,
+    ) {
+        prop_assert!((circular_distance(a, b) - circular_distance(b, a)).abs() < 1e-12);
+        prop_assert!(circular_distance(a, a) < 1e-12);
+        prop_assert!(
+            circular_distance(a, c)
+                <= circular_distance(a, b) + circular_distance(b, c) + 1e-9
+        );
+        prop_assert!(circular_distance(a, b) <= std::f64::consts::PI + 1e-12);
+    }
+
+    /// Snapping is idempotent and never farther than half the level gap.
+    #[test]
+    fn snapping_idempotent(theta in -20.0f64..20.0) {
+        let t = CompressionTable::standard();
+        let (level, d) = t.nearest(theta);
+        prop_assert!(d <= std::f64::consts::FRAC_PI_4 + 1e-9);
+        let (level2, d2) = t.nearest(level);
+        prop_assert!((level - level2).abs() < 1e-12);
+        prop_assert!(d2 < 1e-12);
+    }
+
+    /// `best_level` with zero penalty reduces to `nearest`; any penalty
+    /// choice still returns a valid table level.
+    #[test]
+    fn best_level_valid(theta in -20.0f64..20.0, beta in 0.0f64..10.0) {
+        let t = CompressionTable::standard();
+        let (plain, _) = t.nearest(theta);
+        let (free, _) = t.best_level(theta, |_| 0.0);
+        prop_assert_eq!(plain, free);
+        let (biased, _) = t.best_level(theta, |l| if l == 0.0 { 0.0 } else { beta });
+        prop_assert!(t.levels().contains(&biased));
+    }
+
+    /// Weighted L1 satisfies metric axioms for non-negative weights.
+    #[test]
+    fn weighted_l1_metric(
+        w in proptest::collection::vec(0.0f64..3.0, 5),
+        a in proptest::collection::vec(-5.0f64..5.0, 5),
+        b in proptest::collection::vec(-5.0f64..5.0, 5),
+        c in proptest::collection::vec(-5.0f64..5.0, 5),
+    ) {
+        prop_assert!(weighted_l1(&w, &a, &a) < 1e-12);
+        prop_assert!((weighted_l1(&w, &a, &b) - weighted_l1(&w, &b, &a)).abs() < 1e-12);
+        prop_assert!(
+            weighted_l1(&w, &a, &c)
+                <= weighted_l1(&w, &a, &b) + weighted_l1(&w, &b, &c) + 1e-9
+        );
+    }
+
+    /// Performance weights are correlations: bounded in [0, 1].
+    #[test]
+    fn performance_weights_bounded(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 3), 4..24),
+    ) {
+        let acc: Vec<f64> = cols.iter().map(|s| (s[0] + s[1]) / 2.0).collect();
+        let w = performance_weights(&cols, &acc);
+        for v in w {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// K-medians: every sample is assigned to its nearest centroid
+    /// (assignment optimality at convergence) and the objective is the sum
+    /// of assigned distances.
+    #[test]
+    fn kmedians_assignment_optimal(
+        samples in proptest::collection::vec(
+            proptest::collection::vec(-4.0f64..4.0, 3), 8..32),
+        k in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(k <= samples.len());
+        let w = vec![1.0, 0.5, 2.0];
+        let clustering = kmedians_weighted_l1(&samples, &w, k, seed, 60);
+        let mut total = 0.0;
+        for (i, s) in samples.iter().enumerate() {
+            let assigned = weighted_l1(&w, &clustering.centroids[clustering.assignment[i]], s);
+            for c in &clustering.centroids {
+                prop_assert!(assigned <= weighted_l1(&w, c, s) + 1e-9);
+            }
+            total += assigned;
+        }
+        prop_assert!((total - clustering.objective).abs() < 1e-6);
+    }
+
+    /// More clusters never raise the (converged) objective in practice on
+    /// the same seed family — weak sanity on WSAE monotonicity.
+    #[test]
+    fn kmedians_objective_reasonable(
+        samples in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..2.0, 2), 12..24),
+    ) {
+        let w = vec![1.0, 1.0];
+        let c1 = kmedians_weighted_l1(&samples, &w, 1, 3, 60);
+        let ck = kmedians_weighted_l1(&samples, &w, samples.len(), 3, 60);
+        // k = n puts a centroid on every sample: objective 0.
+        prop_assert!(ck.objective < 1e-9);
+        prop_assert!(c1.objective >= -1e-12);
+    }
+
+    /// L2 distance is non-negative and zero iff equal points.
+    #[test]
+    fn l2_axioms(
+        a in proptest::collection::vec(-5.0f64..5.0, 4),
+        b in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        prop_assert!(l2_sq(&a, &b) >= 0.0);
+        prop_assert!(l2_sq(&a, &a) < 1e-12);
+    }
+
+    /// Threshold masks are monotone: raising the threshold never masks
+    /// more gates; TopFraction masks exactly ⌈n·f⌉ gates.
+    #[test]
+    fn selection_rules_monotone(
+        p in proptest::collection::vec(0.0f64..2.0, 1..40),
+        t1 in 0.0f64..2.0,
+        dt in 0.0f64..1.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let lo = SelectionRule::Threshold(t1).select(&p);
+        let hi = SelectionRule::Threshold(t1 + dt).select(&p);
+        for (l, h) in lo.iter().zip(hi.iter()) {
+            prop_assert!(*l || !*h, "raising threshold must not add masks");
+        }
+        let tf = SelectionRule::TopFraction(frac).select(&p);
+        let expect = ((p.len() as f64) * frac).round() as usize;
+        prop_assert_eq!(tf.iter().filter(|&&m| m).count(), expect);
+    }
+
+    /// Series summaries count days consistently (over-0.8 ⊆ over-0.7 ⊆
+    /// over-0.5) and the mean is within the series range.
+    #[test]
+    fn summary_consistent(acc in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+        let s = SeriesSummary::from_series(&acc);
+        prop_assert!(s.days_over_80 <= s.days_over_70);
+        prop_assert!(s.days_over_70 <= s.days_over_50);
+        let lo = acc.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = acc.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(s.mean_accuracy >= lo - 1e-12 && s.mean_accuracy <= hi + 1e-12);
+        prop_assert!(s.variance >= 0.0);
+    }
+}

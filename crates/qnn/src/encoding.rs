@@ -1,0 +1,212 @@
+//! Angle encoding of classical features into rotation gates.
+//!
+//! Follows the robust data-encoding scheme of LaRose & Coyle (PRA 102,
+//! 032420) used by the paper: each feature becomes one rotation angle. With
+//! more features than qubits the encoder *re-uploads*, cycling the rotation
+//! axis layer by layer (`RY`, `RZ`, `RX`, …), which is how Torch-Quantum
+//! encodes 4×4 MNIST images onto 4 qubits.
+
+use quasim::gate::GateKind;
+use transpile::circuit::{Circuit, Param};
+
+/// An angle encoder mapping `n_features` values onto `n_qubits` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qnn::encoding::AngleEncoder;
+///
+/// let enc = AngleEncoder::new(4, 16);
+/// assert_eq!(enc.n_layers(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AngleEncoder {
+    n_qubits: usize,
+    n_features: usize,
+}
+
+impl AngleEncoder {
+    /// Creates an encoder for `n_features` features on `n_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_qubits: usize, n_features: usize) -> Self {
+        assert!(n_qubits > 0, "encoder needs at least one qubit");
+        assert!(n_features > 0, "encoder needs at least one feature");
+        AngleEncoder { n_qubits, n_features }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of features consumed per sample.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of re-uploading layers (`ceil(n_features / n_qubits)`).
+    pub fn n_layers(&self) -> usize {
+        self.n_features.div_ceil(self.n_qubits)
+    }
+
+    /// Rotation axis used by layer `l` (cycles `RY → RZ → RX`).
+    pub fn layer_axis(l: usize) -> GateKind {
+        match l % 3 {
+            0 => GateKind::Ry,
+            1 => GateKind::Rz,
+            _ => GateKind::Rx,
+        }
+    }
+
+    /// Appends the encoding gates to `circuit`, reading feature `k` from
+    /// trainable-parameter slot `param_offset + k`. The model binds those
+    /// slots to per-sample feature values at run time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` has fewer qubits than the encoder.
+    pub fn append_to(&self, circuit: &mut Circuit, param_offset: usize) {
+        assert!(
+            circuit.n_qubits() >= self.n_qubits,
+            "circuit too small for encoder"
+        );
+        for k in 0..self.n_features {
+            let layer = k / self.n_qubits;
+            let qubit = k % self.n_qubits;
+            let axis = Self::layer_axis(layer);
+            let p = Param::Idx(param_offset + k);
+            match axis {
+                GateKind::Ry => circuit.ry(qubit, p),
+                GateKind::Rz => circuit.rz(qubit, p),
+                _ => circuit.rx(qubit, p),
+            };
+        }
+    }
+}
+
+/// Rescales raw feature values to angles in `[lo, hi]` using per-dimension
+/// min/max computed over the whole dataset.
+///
+/// Returns the scaled copies; constant dimensions map to the interval
+/// midpoint.
+///
+/// # Examples
+///
+/// ```
+/// use qnn::encoding::minmax_scale;
+///
+/// let scaled = minmax_scale(&[vec![0.0, 5.0], vec![10.0, 5.0]], 0.0, 1.0);
+/// assert_eq!(scaled[0][0], 0.0);
+/// assert_eq!(scaled[1][0], 1.0);
+/// assert_eq!(scaled[0][1], 0.5); // constant dimension → midpoint
+/// ```
+///
+/// # Panics
+///
+/// Panics if samples have inconsistent dimensionality or `lo >= hi`.
+pub fn minmax_scale(samples: &[Vec<f64>], lo: f64, hi: f64) -> Vec<Vec<f64>> {
+    assert!(lo < hi, "invalid target interval");
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let dim = samples[0].len();
+    assert!(
+        samples.iter().all(|s| s.len() == dim),
+        "inconsistent feature dimensionality"
+    );
+    let mut mins = vec![f64::INFINITY; dim];
+    let mut maxs = vec![f64::NEG_INFINITY; dim];
+    for s in samples {
+        for (d, &v) in s.iter().enumerate() {
+            mins[d] = mins[d].min(v);
+            maxs[d] = maxs[d].max(v);
+        }
+    }
+    samples
+        .iter()
+        .map(|s| {
+            s.iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let range = maxs[d] - mins[d];
+                    if range <= 0.0 {
+                        0.5 * (lo + hi)
+                    } else {
+                        lo + (v - mins[d]) / range * (hi - lo)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(AngleEncoder::new(4, 4).n_layers(), 1);
+        assert_eq!(AngleEncoder::new(4, 16).n_layers(), 4);
+        assert_eq!(AngleEncoder::new(4, 5).n_layers(), 2);
+    }
+
+    #[test]
+    fn axis_cycles() {
+        assert_eq!(AngleEncoder::layer_axis(0), GateKind::Ry);
+        assert_eq!(AngleEncoder::layer_axis(1), GateKind::Rz);
+        assert_eq!(AngleEncoder::layer_axis(2), GateKind::Rx);
+        assert_eq!(AngleEncoder::layer_axis(3), GateKind::Ry);
+    }
+
+    #[test]
+    fn append_emits_one_gate_per_feature() {
+        let enc = AngleEncoder::new(4, 16);
+        let mut c = Circuit::new(4);
+        enc.append_to(&mut c, 0);
+        assert_eq!(c.len(), 16);
+        assert_eq!(c.n_params(), 16);
+        // First four gates are RY on qubits 0..4.
+        for (q, op) in c.ops().iter().take(4).enumerate() {
+            assert_eq!(op.kind, GateKind::Ry);
+            assert_eq!(op.qubits, vec![q]);
+        }
+        // Second layer is RZ.
+        assert_eq!(c.ops()[4].kind, GateKind::Rz);
+    }
+
+    #[test]
+    fn append_respects_offset() {
+        let enc = AngleEncoder::new(2, 2);
+        let mut c = Circuit::new(2);
+        enc.append_to(&mut c, 10);
+        assert_eq!(c.n_params(), 12);
+        assert_eq!(c.ops_for_param(10), vec![0]);
+    }
+
+    #[test]
+    fn minmax_scales_to_interval() {
+        let scaled = minmax_scale(
+            &[vec![1.0, -3.0], vec![2.0, 0.0], vec![3.0, 3.0]],
+            0.0,
+            std::f64::consts::PI,
+        );
+        assert!(scaled[0][0].abs() < 1e-12);
+        assert!((scaled[2][0] - std::f64::consts::PI).abs() < 1e-12);
+        assert!((scaled[1][1] - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_empty_ok() {
+        assert!(minmax_scale(&[], 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn minmax_rejects_ragged() {
+        let _ = minmax_scale(&[vec![1.0], vec![1.0, 2.0]], 0.0, 1.0);
+    }
+}

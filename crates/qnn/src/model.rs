@@ -1,0 +1,278 @@
+//! The paper's VQC ansatz and the full QNN model definition.
+//!
+//! The experiments use "2 repeats of a VQC block
+//! (4RY + 4CRY + 4RY + 4RX + 4CRX + 4RX + 4RZ + 4CRZ + 4RZ + 4CRZ)"
+//! (Sec. IV-A) on 4 qubits, preceded by an angle encoder. Controlled
+//! rotations entangle in a ring (`q → (q+1) mod n`).
+//!
+//! Parameter layout convention: the circuit's trainable slots
+//! `[0, n_features)` carry per-sample *feature* angles and
+//! `[n_features, n_features + n_weights)` carry the *weights* `θ`. The
+//! simulators see one flat vector; compression and training only ever touch
+//! the weight span.
+
+use crate::encoding::AngleEncoder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use transpile::circuit::{Circuit, Param};
+
+/// Which rotation axis a block sub-layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+/// A QNN model: angle encoder + repeated VQC blocks + Z-readout.
+///
+/// # Examples
+///
+/// ```
+/// use qnn::model::VqcModel;
+///
+/// // The paper's 4-class MNIST model: 16 features, 4 qubits, 2 repeats.
+/// let model = VqcModel::paper_model(4, 4, 16, 2);
+/// assert_eq!(model.n_weights(), 80);
+/// assert_eq!(model.measured_logical(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqcModel {
+    n_qubits: usize,
+    n_classes: usize,
+    n_features: usize,
+    n_weights: usize,
+    repeats: usize,
+    circuit: Circuit,
+}
+
+impl VqcModel {
+    /// Builds the paper's model: encoder + `repeats` VQC blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes > n_qubits` (each class reads one qubit), or if
+    /// any count is zero.
+    pub fn paper_model(
+        n_qubits: usize,
+        n_classes: usize,
+        n_features: usize,
+        repeats: usize,
+    ) -> Self {
+        assert!(n_qubits >= 2, "model needs at least two qubits");
+        assert!(n_classes >= 1 && n_classes <= n_qubits, "one readout qubit per class");
+        assert!(repeats >= 1, "at least one block repeat");
+
+        let mut circuit = Circuit::new(n_qubits);
+        let encoder = AngleEncoder::new(n_qubits, n_features);
+        encoder.append_to(&mut circuit, 0);
+
+        let mut next = n_features;
+        for _ in 0..repeats {
+            // 4RY + 4CRY + 4RY
+            Self::rot_layer(&mut circuit, Axis::Y, &mut next);
+            Self::entangle_layer(&mut circuit, Axis::Y, &mut next);
+            Self::rot_layer(&mut circuit, Axis::Y, &mut next);
+            // 4RX + 4CRX + 4RX
+            Self::rot_layer(&mut circuit, Axis::X, &mut next);
+            Self::entangle_layer(&mut circuit, Axis::X, &mut next);
+            Self::rot_layer(&mut circuit, Axis::X, &mut next);
+            // 4RZ + 4CRZ + 4RZ + 4CRZ
+            Self::rot_layer(&mut circuit, Axis::Z, &mut next);
+            Self::entangle_layer(&mut circuit, Axis::Z, &mut next);
+            Self::rot_layer(&mut circuit, Axis::Z, &mut next);
+            Self::entangle_layer(&mut circuit, Axis::Z, &mut next);
+        }
+
+        VqcModel {
+            n_qubits,
+            n_classes,
+            n_features,
+            n_weights: next - n_features,
+            repeats,
+            circuit,
+        }
+    }
+
+    fn rot_layer(c: &mut Circuit, axis: Axis, next: &mut usize) {
+        for q in 0..c.n_qubits() {
+            let p = Param::Idx(*next);
+            *next += 1;
+            match axis {
+                Axis::X => c.rx(q, p),
+                Axis::Y => c.ry(q, p),
+                Axis::Z => c.rz(q, p),
+            };
+        }
+    }
+
+    fn entangle_layer(c: &mut Circuit, axis: Axis, next: &mut usize) {
+        let n = c.n_qubits();
+        for q in 0..n {
+            let p = Param::Idx(*next);
+            *next += 1;
+            let t = (q + 1) % n;
+            match axis {
+                Axis::X => c.crx(q, t, p),
+                Axis::Y => c.cry(q, t, p),
+                Axis::Z => c.crz(q, t, p),
+            };
+        }
+    }
+
+    /// Number of logical qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of output classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of input features per sample.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of trainable weights.
+    pub fn n_weights(&self) -> usize {
+        self.n_weights
+    }
+
+    /// Number of VQC block repeats.
+    pub fn repeats(&self) -> usize {
+        self.repeats
+    }
+
+    /// The underlying logical circuit (encoding + ansatz).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Logical qubits read out for classification (`0..n_classes`).
+    pub fn measured_logical(&self) -> Vec<usize> {
+        (0..self.n_classes).collect()
+    }
+
+    /// Flat parameter-slot index of weight `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_weights`.
+    pub fn weight_slot(&self, i: usize) -> usize {
+        assert!(i < self.n_weights, "weight index out of range");
+        self.n_features + i
+    }
+
+    /// Concatenates features and weights into the flat binding vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the model.
+    pub fn full_params(&self, features: &[f64], weights: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        assert_eq!(weights.len(), self.n_weights, "weight count mismatch");
+        let mut v = Vec::with_capacity(self.n_features + self.n_weights);
+        v.extend_from_slice(features);
+        v.extend_from_slice(weights);
+        v
+    }
+
+    /// Samples initial weights uniformly from `[−π, π]` with a fixed seed.
+    pub fn init_weights(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.n_weights)
+            .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasim::gate::GateKind;
+
+    #[test]
+    fn paper_block_structure() {
+        let m = VqcModel::paper_model(4, 4, 16, 2);
+        // 10 sub-layers × 4 qubits × 2 repeats.
+        assert_eq!(m.n_weights(), 80);
+        // 16 encoding + 80 ansatz gates.
+        assert_eq!(m.circuit().len(), 96);
+        assert_eq!(m.circuit().n_params(), 96);
+    }
+
+    #[test]
+    fn iris_model_has_three_repeats() {
+        let m = VqcModel::paper_model(4, 3, 4, 3);
+        assert_eq!(m.n_weights(), 120);
+        assert_eq!(m.measured_logical(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn block_layer_ordering() {
+        let m = VqcModel::paper_model(4, 4, 4, 1);
+        let ops = m.circuit().ops();
+        // After 4 encoding RYs: 4 RY, 4 CRY, 4 RY, 4 RX, 4 CRX, 4 RX,
+        // 4 RZ, 4 CRZ, 4 RZ, 4 CRZ.
+        let kinds: Vec<GateKind> = ops[4..].iter().map(|o| o.kind).collect();
+        let expect_block = |i: usize| match i / 4 {
+            0 | 2 => GateKind::Ry,
+            1 => GateKind::Cry,
+            3 | 5 => GateKind::Rx,
+            4 => GateKind::Crx,
+            6 | 8 => GateKind::Rz,
+            7 | 9 => GateKind::Crz,
+            _ => unreachable!(),
+        };
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(*k, expect_block(i), "sub-layer mismatch at gate {i}");
+        }
+    }
+
+    #[test]
+    fn entanglement_is_a_ring() {
+        let m = VqcModel::paper_model(4, 4, 4, 1);
+        let crys: Vec<&transpile::circuit::Op> = m
+            .circuit()
+            .ops()
+            .iter()
+            .filter(|o| o.kind == GateKind::Cry)
+            .collect();
+        let pairs: Vec<(usize, usize)> =
+            crys.iter().map(|o| (o.qubits[0], o.qubits[1])).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn weight_slot_offsets_past_features() {
+        let m = VqcModel::paper_model(4, 2, 16, 1);
+        assert_eq!(m.weight_slot(0), 16);
+        assert_eq!(m.weight_slot(39), 55);
+    }
+
+    #[test]
+    fn init_weights_deterministic_and_bounded() {
+        let m = VqcModel::paper_model(4, 4, 4, 1);
+        let a = m.init_weights(5);
+        let b = m.init_weights(5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|w| w.abs() <= std::f64::consts::PI));
+        assert_ne!(a, m.init_weights(6));
+    }
+
+    #[test]
+    fn full_params_concatenates() {
+        let m = VqcModel::paper_model(2, 2, 2, 1);
+        let v = m.full_params(&[0.1, 0.2], &vec![0.0; m.n_weights()]);
+        assert_eq!(v.len(), 2 + m.n_weights());
+        assert_eq!(v[0], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one readout qubit per class")]
+    fn too_many_classes_rejected() {
+        let _ = VqcModel::paper_model(2, 3, 2, 1);
+    }
+}

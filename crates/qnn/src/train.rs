@@ -1,0 +1,400 @@
+//! Training loops: noise-free and noise-aware (noise-injection) training.
+//!
+//! Noise-aware training follows QuantumNAT (Wang et al., DAC'22, the
+//! paper's baseline \[12]): the forward pass runs through the *noisy*
+//! executor configured with a calibration snapshot, so gradients see the
+//! device noise. The same loop with the pure environment is the paper's
+//! "Baseline" (train in a noise-free environment).
+
+use crate::data::Sample;
+use crate::executor::{pure_z_scores, NoisyExecutor};
+use crate::loss::{accuracy, cross_entropy, predict};
+use crate::model::VqcModel;
+use crate::optim::Adam;
+use calibration::snapshot::CalibrationSnapshot;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Execution environment for loss/accuracy evaluation.
+#[derive(Debug, Clone, Copy)]
+pub enum Env<'a> {
+    /// Noise-free state-vector execution (`Wp`).
+    Pure,
+    /// Noisy density-matrix execution under a calibration snapshot (`Wn`).
+    Noisy {
+        /// The routed executor.
+        exec: &'a NoisyExecutor,
+        /// The day's calibration data.
+        snapshot: &'a CalibrationSnapshot,
+    },
+}
+
+impl Env<'_> {
+    /// Per-class Z scores of one sample.
+    pub fn z_scores(&self, model: &VqcModel, features: &[f64], weights: &[f64]) -> Vec<f64> {
+        match self {
+            Env::Pure => pure_z_scores(model, features, weights),
+            Env::Noisy { exec, snapshot } => exec.z_scores(features, weights, snapshot),
+        }
+    }
+}
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Central finite-difference step for gradients.
+    pub grad_step: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 20, batch_size: 16, lr: 0.08, seed: 0, grad_step: 1e-3 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainResult {
+    /// Trained weights.
+    pub weights: Vec<f64>,
+    /// Mean batch loss per epoch.
+    pub loss_history: Vec<f64>,
+    /// Total circuit evaluations performed (the paper's training-cost
+    /// proxy for Fig. 7).
+    pub n_evals: u64,
+}
+
+/// Mean cross-entropy of a batch.
+pub fn batch_loss(
+    model: &VqcModel,
+    env: Env<'_>,
+    batch: &[&Sample],
+    weights: &[f64],
+) -> f64 {
+    assert!(!batch.is_empty(), "empty batch");
+    batch
+        .iter()
+        .map(|s| cross_entropy(&env.z_scores(model, &s.features, weights), s.label))
+        .sum::<f64>()
+        / batch.len() as f64
+}
+
+/// Classification accuracy of `weights` on `samples` in `env`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn evaluate(model: &VqcModel, env: Env<'_>, samples: &[Sample], weights: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "empty evaluation set");
+    let preds: Vec<usize> = samples
+        .iter()
+        .map(|s| predict(&env.z_scores(model, &s.features, weights)))
+        .collect();
+    let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
+    accuracy(&preds, &labels)
+}
+
+/// Trains all weights; see [`train_masked`].
+pub fn train(
+    model: &VqcModel,
+    train_set: &[Sample],
+    env: Env<'_>,
+    config: &TrainConfig,
+    init_weights: &[f64],
+) -> TrainResult {
+    let trainable = vec![true; init_weights.len()];
+    train_masked(model, train_set, env, config, init_weights, &trainable)
+}
+
+/// Minibatch Adam training with a trainability mask.
+///
+/// Frozen coordinates (`trainable[i] == false`) receive no gradient
+/// evaluations and never move — this is how compressed parameters stay at
+/// their compression levels during fine-tuning.
+///
+/// # Panics
+///
+/// Panics if the training set is empty or slice lengths mismatch the model.
+pub fn train_masked(
+    model: &VqcModel,
+    train_set: &[Sample],
+    env: Env<'_>,
+    config: &TrainConfig,
+    init_weights: &[f64],
+    trainable: &[bool],
+) -> TrainResult {
+    assert!(!train_set.is_empty(), "empty training set");
+    assert_eq!(init_weights.len(), model.n_weights(), "weight count mismatch");
+    assert_eq!(trainable.len(), init_weights.len(), "mask length mismatch");
+
+    let mut weights = init_weights.to_vec();
+    let mut opt = Adam::new(config.lr, weights.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut loss_history = Vec::with_capacity(config.epochs);
+    let mut n_evals: u64 = 0;
+
+    let mut order: Vec<usize> = (0..train_set.len()).collect();
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut n_batches = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch: Vec<&Sample> = chunk.iter().map(|&i| &train_set[i]).collect();
+            let base = batch_loss(model, env, &batch, &weights);
+            n_evals += batch.len() as u64;
+            epoch_loss += base;
+            n_batches += 1;
+
+            // Central finite differences on trainable coordinates only.
+            let mut grad = vec![0.0; weights.len()];
+            for i in 0..weights.len() {
+                if !trainable[i] {
+                    continue;
+                }
+                let orig = weights[i];
+                weights[i] = orig + config.grad_step;
+                let fp = batch_loss(model, env, &batch, &weights);
+                weights[i] = orig - config.grad_step;
+                let fm = batch_loss(model, env, &batch, &weights);
+                weights[i] = orig;
+                n_evals += 2 * batch.len() as u64;
+                grad[i] = (fp - fm) / (2.0 * config.grad_step);
+            }
+            opt.step_masked(&mut weights, &grad, trainable);
+        }
+        loss_history.push(epoch_loss / n_batches.max(1) as f64);
+    }
+
+    TrainResult { weights, loss_history, n_evals }
+}
+
+/// SPSA (simultaneous-perturbation stochastic approximation)
+/// hyper-parameters.
+///
+/// SPSA estimates the full gradient from **two** objective evaluations per
+/// step regardless of dimension, which makes it the standard choice for
+/// training through noisy quantum executions — exactly where the
+/// finite-difference loop of [`train_masked`] would cost `2·n_weights`
+/// noisy circuit evaluations per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpsaConfig {
+    /// Optimisation steps.
+    pub steps: usize,
+    /// Minibatch size per step.
+    pub batch_size: usize,
+    /// Initial step gain `a` (decays as `a/(k+1+A)^0.602`).
+    pub lr: f64,
+    /// Initial perturbation `c` (decays as `c/(k+1)^0.101`).
+    pub perturbation: f64,
+    /// Seed for perturbation directions and batching.
+    pub seed: u64,
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig { steps: 60, batch_size: 12, lr: 0.12, perturbation: 0.15, seed: 0 }
+    }
+}
+
+/// SPSA training with a trainability mask (frozen coordinates are never
+/// perturbed or moved). Suited to noisy environments; see [`SpsaConfig`].
+///
+/// # Panics
+///
+/// Panics if the training set is empty or slice lengths mismatch the model.
+pub fn train_spsa_masked(
+    model: &VqcModel,
+    train_set: &[Sample],
+    env: Env<'_>,
+    config: &SpsaConfig,
+    init_weights: &[f64],
+    trainable: &[bool],
+) -> TrainResult {
+    assert!(!train_set.is_empty(), "empty training set");
+    assert_eq!(init_weights.len(), model.n_weights(), "weight count mismatch");
+    assert_eq!(trainable.len(), init_weights.len(), "mask length mismatch");
+
+    let mut weights = init_weights.to_vec();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut n_evals: u64 = 0;
+    let mut loss_history = Vec::with_capacity(config.steps);
+    let stability = (config.steps as f64 * 0.1).max(1.0);
+
+    let mut order: Vec<usize> = (0..train_set.len()).collect();
+    for k in 0..config.steps {
+        order.shuffle(&mut rng);
+        let batch: Vec<&Sample> = order
+            .iter()
+            .take(config.batch_size.min(train_set.len()))
+            .map(|&i| &train_set[i])
+            .collect();
+
+        let ak = config.lr / (k as f64 + 1.0 + stability).powf(0.602);
+        let ck = config.perturbation / (k as f64 + 1.0).powf(0.101);
+
+        // Rademacher direction on trainable coordinates.
+        let delta: Vec<f64> = trainable
+            .iter()
+            .map(|&t| if t { if rng.gen::<bool>() { 1.0 } else { -1.0 } } else { 0.0 })
+            .collect();
+
+        let shifted = |sign: f64, w: &[f64]| -> Vec<f64> {
+            w.iter()
+                .zip(delta.iter())
+                .map(|(&wi, &di)| wi + sign * ck * di)
+                .collect()
+        };
+        let wp = shifted(1.0, &weights);
+        let wm = shifted(-1.0, &weights);
+        let fp = batch_loss(model, env, &batch, &wp);
+        let fm = batch_loss(model, env, &batch, &wm);
+        n_evals += 2 * batch.len() as u64;
+        loss_history.push(0.5 * (fp + fm));
+
+        let scale = (fp - fm) / (2.0 * ck);
+        for i in 0..weights.len() {
+            if trainable[i] && delta[i] != 0.0 {
+                weights[i] -= ak * scale / delta[i];
+            }
+        }
+    }
+
+    TrainResult { weights, loss_history, n_evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::executor::NoiseOptions;
+    use calibration::topology::Topology;
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig { epochs: 6, batch_size: 8, lr: 0.15, seed: 1, grad_step: 1e-3 }
+    }
+
+    #[test]
+    fn pure_training_learns_iris() {
+        let data = Dataset::iris(3).truncated(48, 30);
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let init = model.init_weights(2);
+        let before = evaluate(&model, Env::Pure, &data.test, &init);
+        let result = train(&model, &data.train, Env::Pure, &quick_config(), &init);
+        let after = evaluate(&model, Env::Pure, &data.test, &result.weights);
+        assert!(
+            after > before.max(0.5),
+            "training should beat init: {before} -> {after}"
+        );
+        // Loss should broadly decrease.
+        assert!(result.loss_history.last().unwrap() < result.loss_history.first().unwrap());
+        assert!(result.n_evals > 0);
+    }
+
+    #[test]
+    fn masked_training_freezes_weights() {
+        let data = Dataset::iris(3).truncated(24, 10);
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let init = model.init_weights(4);
+        let mut trainable = vec![true; model.n_weights()];
+        for t in trainable.iter_mut().step_by(2) {
+            *t = false;
+        }
+        let cfg = TrainConfig { epochs: 2, ..quick_config() };
+        let result = train_masked(&model, &data.train, Env::Pure, &cfg, &init, &trainable);
+        for i in 0..model.n_weights() {
+            if !trainable[i] {
+                assert_eq!(result.weights[i], init[i], "frozen weight {i} moved");
+            }
+        }
+        // At least one trainable weight moved.
+        assert!(result
+            .weights
+            .iter()
+            .zip(init.iter())
+            .enumerate()
+            .any(|(i, (a, b))| trainable[i] && a != b));
+    }
+
+    #[test]
+    fn noise_aware_training_runs_and_counts_evals() {
+        let data = Dataset::seismic(16, 8, 5).truncated(16, 8);
+        let model = VqcModel::paper_model(4, 2, 4, 1);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 8e-3, 0.02);
+        let env = Env::Noisy { exec: &exec, snapshot: &snap };
+        let cfg = TrainConfig { epochs: 1, batch_size: 8, ..quick_config() };
+        let init = model.init_weights(9);
+        let result = train(&model, &data.train, env, &cfg, &init);
+        // 1 epoch × 2 batches × (8 + 2·n_weights·8) evals.
+        let expected = 2 * (8 + 2 * model.n_weights() as u64 * 8);
+        assert_eq!(result.n_evals, expected);
+        let acc = evaluate(&model, env, &data.test, &result.weights);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = Dataset::iris(3).truncated(16, 8);
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let init = model.init_weights(2);
+        let cfg = TrainConfig { epochs: 1, ..quick_config() };
+        let a = train(&model, &data.train, Env::Pure, &cfg, &init);
+        let b = train(&model, &data.train, Env::Pure, &cfg, &init);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spsa_improves_noisy_loss() {
+        let data = Dataset::iris(3).truncated(40, 20);
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 8e-3, 0.02);
+        let env = Env::Noisy { exec: &exec, snapshot: &snap };
+        let init = model.init_weights(3);
+        let cfg = SpsaConfig { steps: 40, batch_size: 10, seed: 4, ..SpsaConfig::default() };
+        let trainable = vec![true; model.n_weights()];
+        let result = train_spsa_masked(&model, &data.train, env, &cfg, &init, &trainable);
+        // Cost: exactly 2 evals per batch sample per step.
+        assert_eq!(result.n_evals, 40 * 2 * 10);
+        let before = evaluate(&model, env, &data.test, &init);
+        let after = evaluate(&model, env, &data.test, &result.weights);
+        assert!(
+            after + 0.1 >= before,
+            "SPSA should not regress materially: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn spsa_respects_mask() {
+        let data = Dataset::iris(3).truncated(16, 8);
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let init = model.init_weights(6);
+        let mut trainable = vec![true; model.n_weights()];
+        trainable[0] = false;
+        trainable[5] = false;
+        let cfg = SpsaConfig { steps: 5, batch_size: 4, seed: 1, ..SpsaConfig::default() };
+        let r = train_spsa_masked(&model, &data.train, Env::Pure, &cfg, &init, &trainable);
+        assert_eq!(r.weights[0], init[0]);
+        assert_eq!(r.weights[5], init[5]);
+        assert_ne!(r.weights, init);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_rejected() {
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let init = model.init_weights(2);
+        let _ = train(&model, &[], Env::Pure, &quick_config(), &init);
+    }
+}

@@ -1,0 +1,683 @@
+//! Density-matrix simulation with noise channels.
+//!
+//! The density matrix `ρ` is stored dense and row-major (`D×D`,
+//! `D = 2^n_qubits`). For the register sizes in this workspace (4–7 qubits,
+//! `D ≤ 128`) dense simulation is exact and fast, avoiding the sampling
+//! variance a shot-based simulator would add on top of the physical noise
+//! being studied.
+
+use crate::gate::BoundGate;
+use crate::math::{CMatrix, Complex64};
+use crate::noise::{apply_readout_to_distribution, KrausChannel, ReadoutError};
+use crate::statevector::StateVector;
+
+/// A mixed quantum state over `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::density::DensityMatrix;
+/// use quasim::gate::{BoundGate, GateKind};
+/// use quasim::noise::KrausChannel;
+///
+/// let mut rho = DensityMatrix::zero_state(2);
+/// rho.apply_gate(&BoundGate::one(GateKind::H, 0, 0.0));
+/// rho.apply_channel(&KrausChannel::depolarizing_1q(0.1), &[0]);
+/// assert!((rho.trace() - 1.0).abs() < 1e-12);
+/// assert!(rho.purity() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    dim: usize,
+    data: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// Creates `|0…0⟩⟨0…0|` over `n_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or greater than 12 (dense ρ would be huge).
+    pub fn zero_state(n_qubits: usize) -> Self {
+        assert!(n_qubits >= 1 && n_qubits <= 12, "unsupported qubit count");
+        let dim = 1usize << n_qubits;
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        data[0] = Complex64::ONE;
+        DensityMatrix { n_qubits, dim, data }
+    }
+
+    /// Creates `|ψ⟩⟨ψ|` from a pure state.
+    pub fn from_statevector(sv: &StateVector) -> Self {
+        let n_qubits = sv.n_qubits();
+        let dim = 1usize << n_qubits;
+        let amps = sv.amplitudes();
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                data[i * dim + j] = amps[i] * amps[j].conj();
+            }
+        }
+        DensityMatrix { n_qubits, dim, data }
+    }
+
+    /// The maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(n_qubits: usize) -> Self {
+        let mut rho = DensityMatrix::zero_state(n_qubits);
+        rho.data[0] = Complex64::ZERO;
+        let w = Complex64::real(1.0 / rho.dim as f64);
+        for i in 0..rho.dim {
+            rho.data[i * rho.dim + i] = w;
+        }
+        rho
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Matrix dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry `ρ[i, j]`.
+    pub fn get(&self, i: usize, j: usize) -> Complex64 {
+        self.data[i * self.dim + j]
+    }
+
+    /// Applies a unitary bound gate: `ρ → UρU†`. CNOTs dispatch to the
+    /// permutation fast path [`DensityMatrix::apply_cx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit indices are out of range.
+    pub fn apply_gate(&mut self, gate: &BoundGate) {
+        if gate.kind() == crate::gate::GateKind::Cx {
+            self.apply_cx(gate.qubits()[0], gate.qubits()[1]);
+            return;
+        }
+        let u = gate.matrix();
+        match gate.kind().arity() {
+            1 => self.apply_unitary_1q(&u, gate.qubits()[0]),
+            _ => self.apply_unitary_2q(&u, gate.qubits()[0], gate.qubits()[1]),
+        }
+    }
+
+    /// Applies a 2×2 unitary on qubit `q`: `ρ → UρU†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `u` is not 2×2.
+    pub fn apply_unitary_1q(&mut self, u: &CMatrix, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert_eq!(u.dim(), 2, "expected a 2x2 matrix");
+        self.left_mul_1q(u, q);
+        self.right_mul_dagger_1q(u, q);
+    }
+
+    /// Applies a 4×4 unitary on qubits `(a, b)`: `ρ → UρU†`. Qubit `a` maps
+    /// to the most significant local bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are invalid or `u` is not 4×4.
+    pub fn apply_unitary_2q(&mut self, u: &CMatrix, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits, "qubit out of range");
+        assert_ne!(a, b, "qubits must be distinct");
+        assert_eq!(u.dim(), 4, "expected a 4x4 matrix");
+        self.left_mul_2q(u, a, b);
+        self.right_mul_dagger_2q(u, a, b);
+    }
+
+    /// Applies a Kraus channel on the given qubits: `ρ → Σ_k K_k ρ K_k†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len() != channel.arity()` or indices are invalid.
+    pub fn apply_channel(&mut self, channel: &KrausChannel, qubits: &[usize]) {
+        assert_eq!(
+            qubits.len(),
+            channel.arity(),
+            "channel arity does not match qubit count"
+        );
+        let mut acc = vec![Complex64::ZERO; self.data.len()];
+        let original = self.data.clone();
+        for k in channel.kraus_ops() {
+            self.data.copy_from_slice(&original);
+            match channel.arity() {
+                1 => {
+                    self.left_mul_1q(k, qubits[0]);
+                    self.right_mul_dagger_1q(k, qubits[0]);
+                }
+                _ => {
+                    self.left_mul_2q(k, qubits[0], qubits[1]);
+                    self.right_mul_dagger_2q(k, qubits[0], qubits[1]);
+                }
+            }
+            for (a, &d) in acc.iter_mut().zip(self.data.iter()) {
+                *a += d;
+            }
+        }
+        self.data = acc;
+    }
+
+    /// Fast CNOT application: `ρ → CX ρ CX†` as a pure index permutation
+    /// (no complex multiplications).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_cx(&mut self, control: usize, target: usize) {
+        assert!(
+            control < self.n_qubits && target < self.n_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(control, target, "qubits must be distinct");
+        let mc = 1usize << control;
+        let mt = 1usize << target;
+        let dim = self.dim;
+        // Row permutation: rows with control bit set swap target-bit pairs.
+        for row in 0..dim {
+            if row & mc != 0 && row & mt == 0 {
+                let r2 = row | mt;
+                for col in 0..dim {
+                    self.data.swap(row * dim + col, r2 * dim + col);
+                }
+            }
+        }
+        // Column permutation.
+        for row in 0..dim {
+            let base = row * dim;
+            for col in 0..dim {
+                if col & mc != 0 && col & mt == 0 {
+                    self.data.swap(base + col, base + (col | mt));
+                }
+            }
+        }
+    }
+
+    /// Fast closed-form one-qubit depolarising channel on qubit `q`:
+    /// `ρ → (1−λ)ρ + λ·(I/2 ⊗ Tr_q ρ)`.
+    ///
+    /// Equivalent to `apply_channel(&KrausChannel::depolarizing_1q(λ), &[q])`
+    /// but O(D²) instead of four Kraus conjugations; `λ` is clamped to
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_depolarizing_1q(&mut self, lambda: f64, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let l = lambda.clamp(0.0, 1.0);
+        if l == 0.0 {
+            return;
+        }
+        let mask = 1usize << q;
+        let dim = self.dim;
+        let keep = 1.0 - l;
+        for i in 0..dim {
+            if i & mask != 0 {
+                continue;
+            }
+            let i1 = i | mask;
+            for j in 0..dim {
+                if j & mask != 0 {
+                    continue;
+                }
+                let j1 = j | mask;
+                let d00 = self.data[i * dim + j];
+                let d11 = self.data[i1 * dim + j1];
+                let avg = (d00 + d11).scale(0.5 * l);
+                self.data[i * dim + j] = d00.scale(keep) + avg;
+                self.data[i1 * dim + j1] = d11.scale(keep) + avg;
+                self.data[i * dim + j1] = self.data[i * dim + j1].scale(keep);
+                self.data[i1 * dim + j] = self.data[i1 * dim + j].scale(keep);
+            }
+        }
+    }
+
+    /// Fast closed-form two-qubit depolarising channel on `(a, b)`:
+    /// `ρ → (1−λ)ρ + λ·(I/4 ⊗ Tr_{a,b} ρ)`.
+    ///
+    /// Equivalent to the 16-operator Kraus form but O(D²); `λ` is clamped
+    /// to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn apply_depolarizing_2q(&mut self, lambda: f64, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits, "qubit out of range");
+        assert_ne!(a, b, "qubits must be distinct");
+        let l = lambda.clamp(0.0, 1.0);
+        if l == 0.0 {
+            return;
+        }
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let dim = self.dim;
+        let keep = 1.0 - l;
+        for i in 0..dim {
+            if i & ma != 0 || i & mb != 0 {
+                continue;
+            }
+            let irows = [i, i | mb, i | ma, i | ma | mb];
+            for j in 0..dim {
+                if j & ma != 0 || j & mb != 0 {
+                    continue;
+                }
+                let jcols = [j, j | mb, j | ma, j | ma | mb];
+                // Partial trace over the 4×4 block diagonal.
+                let mut tr = Complex64::ZERO;
+                for k in 0..4 {
+                    tr += self.data[irows[k] * dim + jcols[k]];
+                }
+                let mix = tr.scale(0.25 * l);
+                for r in 0..4 {
+                    for c in 0..4 {
+                        let idx = irows[r] * dim + jcols[c];
+                        let mut v = self.data[idx].scale(keep);
+                        if r == c {
+                            v += mix;
+                        }
+                        self.data[idx] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Diagonal of `ρ` as a classical probability distribution.
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.data[i * self.dim + i].re).collect()
+    }
+
+    /// Probabilities after pushing through per-qubit readout errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors.len() != n_qubits`.
+    pub fn probabilities_with_readout(&self, errors: &[ReadoutError]) -> Vec<f64> {
+        assert_eq!(errors.len(), self.n_qubits, "one readout error per qubit");
+        let mut probs = self.probabilities();
+        apply_readout_to_distribution(&mut probs, errors);
+        probs
+    }
+
+    /// Probability of measuring qubit `q` as `1` (no readout error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let mask = 1usize << q;
+        (0..self.dim)
+            .filter(|i| i & mask != 0)
+            .map(|i| self.data[i * self.dim + i].re)
+            .sum()
+    }
+
+    /// Expectation value `⟨Z_q⟩`.
+    pub fn expect_z(&self, q: usize) -> f64 {
+        1.0 - 2.0 * self.prob_one(q)
+    }
+
+    /// Trace of `ρ` (should be 1 up to rounding).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.data[i * self.dim + i].re).sum()
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        // Tr(ρ²) = Σ_ij ρ[i,j] ρ[j,i] = Σ_ij |ρ[i,j]|² for Hermitian ρ.
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Maximum deviation from Hermitian symmetry `|ρ[i,j] − ρ[j,i]*|`.
+    pub fn hermiticity_error(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 0..self.dim {
+            for j in 0..=i {
+                let d = (self.get(i, j) - self.get(j, i).conj()).abs();
+                max = max.max(d);
+            }
+        }
+        max
+    }
+
+    /// Fidelity with a pure state: `⟨ψ|ρ|ψ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn fidelity_with_pure(&self, sv: &StateVector) -> f64 {
+        assert_eq!(sv.n_qubits(), self.n_qubits, "qubit counts must match");
+        let amps = sv.amplitudes();
+        let mut acc = Complex64::ZERO;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                acc += amps[i].conj() * self.get(i, j) * amps[j];
+            }
+        }
+        acc.re
+    }
+
+    // --- local multiplication kernels -------------------------------------
+
+    /// `ρ → (U_q) ρ` for a 2×2 `u` acting on qubit `q`.
+    ///
+    /// Iterates row pairs in the outer loop so both row slices are walked
+    /// contiguously (row-major layout).
+    fn left_mul_1q(&mut self, u: &CMatrix, q: usize) {
+        let mask = 1usize << q;
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        let dim = self.dim;
+        for row in 0..dim {
+            if row & mask != 0 {
+                continue;
+            }
+            let r1 = row | mask;
+            let (base0, base1) = (row * dim, r1 * dim);
+            for col in 0..dim {
+                let a0 = self.data[base0 + col];
+                let a1 = self.data[base1 + col];
+                self.data[base0 + col] = u00 * a0 + u01 * a1;
+                self.data[base1 + col] = u10 * a0 + u11 * a1;
+            }
+        }
+    }
+
+    /// `ρ → ρ (U_q)†` for a 2×2 `u` acting on qubit `q`.
+    fn right_mul_dagger_1q(&mut self, u: &CMatrix, q: usize) {
+        let mask = 1usize << q;
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        let dim = self.dim;
+        for row in 0..dim {
+            let base = row * dim;
+            for col in 0..dim {
+                if col & mask == 0 {
+                    let c1 = col | mask;
+                    let a0 = self.data[base + col];
+                    let a1 = self.data[base + c1];
+                    // (ρU†)[·,c] pairs: new0 = a0·conj(u00) + a1·conj(u01)
+                    self.data[base + col] = a0 * u00.conj() + a1 * u01.conj();
+                    self.data[base + c1] = a0 * u10.conj() + a1 * u11.conj();
+                }
+            }
+        }
+    }
+
+    /// `ρ → (U_{a,b}) ρ` for a 4×4 `u`; qubit `a` is the high local bit.
+    fn left_mul_2q(&mut self, u: &CMatrix, a: usize, b: usize) {
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let dim = self.dim;
+        for col in 0..dim {
+            for row in 0..dim {
+                if row & ma == 0 && row & mb == 0 {
+                    let idx = [row, row | mb, row | ma, row | ma | mb];
+                    let old = [
+                        self.data[idx[0] * dim + col],
+                        self.data[idx[1] * dim + col],
+                        self.data[idx[2] * dim + col],
+                        self.data[idx[3] * dim + col],
+                    ];
+                    for r in 0..4 {
+                        let mut acc = Complex64::ZERO;
+                        for c in 0..4 {
+                            acc += u[(r, c)] * old[c];
+                        }
+                        self.data[idx[r] * dim + col] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ρ → ρ (U_{a,b})†` for a 4×4 `u`; qubit `a` is the high local bit.
+    fn right_mul_dagger_2q(&mut self, u: &CMatrix, a: usize, b: usize) {
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let dim = self.dim;
+        for row in 0..dim {
+            let base = row * dim;
+            for col in 0..dim {
+                if col & ma == 0 && col & mb == 0 {
+                    let idx = [col, col | mb, col | ma, col | ma | mb];
+                    let old = [
+                        self.data[base + idx[0]],
+                        self.data[base + idx[1]],
+                        self.data[base + idx[2]],
+                        self.data[base + idx[3]],
+                    ];
+                    for c in 0..4 {
+                        let mut acc = Complex64::ZERO;
+                        for k in 0..4 {
+                            // (ρU†)[r, c] = Σ_k ρ[r, k] · conj(U[c, k])
+                            acc += old[k] * u[(c, k)].conj();
+                        }
+                        self.data[base + idx[c]] = acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::statevector::run_circuit;
+
+    fn g1(kind: GateKind, q: usize, t: f64) -> BoundGate {
+        BoundGate::one(kind, q, t)
+    }
+
+    #[test]
+    fn zero_state_is_pure_and_normalised() {
+        let rho = DensityMatrix::zero_state(3);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.hermiticity_error() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_matches_statevector() {
+        let gates = [
+            g1(GateKind::H, 0, 0.0),
+            g1(GateKind::Ry, 1, 0.7),
+            BoundGate::two(GateKind::Cry, 0, 2, 1.1),
+            BoundGate::two(GateKind::Cx, 1, 3, 0.0),
+            g1(GateKind::Rz, 2, 2.0),
+            BoundGate::two(GateKind::Crz, 3, 0, 0.4),
+        ];
+        let sv = run_circuit(4, &gates);
+        let mut rho = DensityMatrix::zero_state(4);
+        for g in &gates {
+            rho.apply_gate(g);
+        }
+        for q in 0..4 {
+            assert!(
+                (rho.prob_one(q) - sv.prob_one(q)).abs() < 1e-10,
+                "mismatch on qubit {q}"
+            );
+        }
+        assert!((rho.fidelity_with_pure(&sv) - 1.0).abs() < 1e-10);
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_statevector_roundtrip() {
+        let sv = run_circuit(2, &[g1(GateKind::Ry, 0, 0.4), g1(GateKind::Rx, 1, 1.3)]);
+        let rho = DensityMatrix::from_statevector(&sv);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.fidelity_with_pure(&sv) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_mixes_state() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_channel(&KrausChannel::depolarizing_1q(1.0), &[0]);
+        // λ=1 → maximally mixed.
+        assert!((rho.prob_one(0) - 0.5).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_preserves_trace_and_hermiticity() {
+        let mut rho = DensityMatrix::zero_state(3);
+        rho.apply_gate(&g1(GateKind::H, 0, 0.0));
+        rho.apply_gate(&BoundGate::two(GateKind::Cx, 0, 1, 0.0));
+        rho.apply_channel(&KrausChannel::depolarizing_2q(0.05), &[0, 1]);
+        rho.apply_channel(&KrausChannel::amplitude_damping(0.1), &[2]);
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!(rho.hermiticity_error() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_fully_decays_to_ground() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&g1(GateKind::X, 0, 0.0));
+        rho.apply_channel(&KrausChannel::amplitude_damping(1.0), &[0]);
+        assert!(rho.prob_one(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_at_one_gives_maximally_mixed_pair() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&g1(GateKind::X, 0, 0.0));
+        rho.apply_channel(&KrausChannel::depolarizing_2q(1.0), &[0, 1]);
+        let probs = rho.probabilities();
+        for p in probs {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn maximally_mixed_has_min_purity() {
+        let rho = DensityMatrix::maximally_mixed(3);
+        assert!((rho.purity() - 1.0 / 8.0).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_probabilities_sum_to_one() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&g1(GateKind::H, 0, 0.0));
+        let probs = rho.probabilities_with_readout(&[
+            ReadoutError::new(0.03, 0.08),
+            ReadoutError::symmetric(0.02),
+        ]);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_reduces_fidelity_monotonically() {
+        let gates = [g1(GateKind::H, 0, 0.0), BoundGate::two(GateKind::Cx, 0, 1, 0.0)];
+        let ideal = run_circuit(2, &gates);
+        let mut last_fid = 1.1;
+        for lambda in [0.0, 0.05, 0.2, 0.5] {
+            let mut rho = DensityMatrix::zero_state(2);
+            for g in &gates {
+                rho.apply_gate(g);
+                rho.apply_channel(&KrausChannel::depolarizing_2q(lambda), &[0, 1]);
+            }
+            let fid = rho.fidelity_with_pure(&ideal);
+            assert!(fid < last_fid, "fidelity should decrease with noise");
+            last_fid = fid;
+        }
+    }
+
+    #[test]
+    fn fast_cx_matches_dense_unitary() {
+        let prep = [
+            g1(GateKind::H, 0, 0.0),
+            g1(GateKind::Ry, 1, 0.8),
+            g1(GateKind::Rz, 2, 1.7),
+            BoundGate::two(GateKind::Cry, 0, 2, 0.9),
+        ];
+        for (c, t) in [(0usize, 1usize), (1, 0), (2, 0), (1, 2)] {
+            let mut a = DensityMatrix::zero_state(3);
+            let mut b = DensityMatrix::zero_state(3);
+            for g in &prep {
+                a.apply_gate(g);
+                b.apply_gate(g);
+            }
+            a.apply_unitary_2q(&GateKind::Cx.matrix(0.0), c, t);
+            b.apply_cx(c, t);
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert!(
+                        (a.get(i, j) - b.get(i, j)).abs() < 1e-12,
+                        "cx({c},{t}) mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_depolarizing_1q_matches_kraus_form() {
+        let gates = [
+            g1(GateKind::H, 0, 0.0),
+            g1(GateKind::Ry, 1, 0.8),
+            BoundGate::two(GateKind::Cx, 0, 2, 0.0),
+        ];
+        for lambda in [0.0, 0.02, 0.3, 1.0] {
+            let mut a = DensityMatrix::zero_state(3);
+            let mut b = DensityMatrix::zero_state(3);
+            for g in &gates {
+                a.apply_gate(g);
+                b.apply_gate(g);
+            }
+            a.apply_channel(&KrausChannel::depolarizing_1q(lambda), &[1]);
+            b.apply_depolarizing_1q(lambda, 1);
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert!(
+                        (a.get(i, j) - b.get(i, j)).abs() < 1e-12,
+                        "λ={lambda} mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_depolarizing_2q_matches_kraus_form() {
+        let gates = [
+            g1(GateKind::H, 0, 0.0),
+            BoundGate::two(GateKind::Cry, 0, 1, 1.2),
+            g1(GateKind::Rz, 2, 0.4),
+        ];
+        for lambda in [0.0, 0.05, 0.4, 1.0] {
+            let mut a = DensityMatrix::zero_state(3);
+            let mut b = DensityMatrix::zero_state(3);
+            for g in &gates {
+                a.apply_gate(g);
+                b.apply_gate(g);
+            }
+            a.apply_channel(&KrausChannel::depolarizing_2q(lambda), &[0, 2]);
+            b.apply_depolarizing_2q(lambda, 0, 2);
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert!(
+                        (a.get(i, j) - b.get(i, j)).abs() < 1e-12,
+                        "λ={lambda} mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn channel_qubit_count_checked() {
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_channel(&KrausChannel::depolarizing_1q(0.1), &[0, 1]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Quantum gate definitions and their unitary matrices.
+//!
+//! [`GateKind`] enumerates the gate alphabet used throughout the workspace:
+//! the fixed Cliffords/phases that appear after transpilation, the
+//! parameterised rotations that carry QNN weights, and the controlled
+//! rotations from the paper's VQC block (`4RY + 4CRY + ...`).
+
+use crate::math::{CMatrix, Complex64};
+
+/// The gate alphabet.
+///
+/// Parameterised kinds (`Rx`, `Ry`, `Rz`, `Crx`, `Cry`, `Crz`, `Phase`)
+/// take one rotation angle; the rest are fixed.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::gate::GateKind;
+///
+/// assert_eq!(GateKind::Cry.arity(), 2);
+/// assert!(GateKind::Ry.is_parameterised());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// T gate = diag(1, e^{iπ/4}).
+    T,
+    /// Square root of X (√X), a common hardware basis gate.
+    Sx,
+    /// Rotation about X by θ.
+    Rx,
+    /// Rotation about Y by θ.
+    Ry,
+    /// Rotation about Z by θ.
+    Rz,
+    /// Phase rotation diag(1, e^{iθ}).
+    Phase,
+    /// Controlled-X (CNOT).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled rotation about X.
+    Crx,
+    /// Controlled rotation about Y.
+    Cry,
+    /// Controlled rotation about Z.
+    Crz,
+    /// Swap of two qubits.
+    Swap,
+}
+
+impl GateKind {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::H
+            | GateKind::S
+            | GateKind::T
+            | GateKind::Sx
+            | GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase => 1,
+            GateKind::Cx
+            | GateKind::Cz
+            | GateKind::Crx
+            | GateKind::Cry
+            | GateKind::Crz
+            | GateKind::Swap => 2,
+        }
+    }
+
+    /// Whether the gate takes a rotation angle.
+    pub fn is_parameterised(self) -> bool {
+        matches!(
+            self,
+            GateKind::Rx
+                | GateKind::Ry
+                | GateKind::Rz
+                | GateKind::Phase
+                | GateKind::Crx
+                | GateKind::Cry
+                | GateKind::Crz
+        )
+    }
+
+    /// Short lowercase mnemonic (e.g. `"cry"`), matching common assembly
+    /// formats.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::H => "h",
+            GateKind::S => "s",
+            GateKind::T => "t",
+            GateKind::Sx => "sx",
+            GateKind::Rx => "rx",
+            GateKind::Ry => "ry",
+            GateKind::Rz => "rz",
+            GateKind::Phase => "p",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Crx => "crx",
+            GateKind::Cry => "cry",
+            GateKind::Crz => "crz",
+            GateKind::Swap => "swap",
+        }
+    }
+
+    /// The unitary matrix of the gate.
+    ///
+    /// For parameterised kinds, `theta` supplies the rotation angle; it is
+    /// ignored for fixed gates. Two-qubit matrices use the convention that
+    /// the **first** qubit is the control and occupies the *most significant*
+    /// bit of the 2-bit index (row/col index = `control*2 + target`).
+    pub fn matrix(self, theta: f64) -> CMatrix {
+        let c = Complex64::real((theta / 2.0).cos());
+        let s = (theta / 2.0).sin();
+        let isin = Complex64::new(0.0, -s);
+        match self {
+            GateKind::X => CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]),
+            GateKind::Y => CMatrix::from_slice(
+                2,
+                &[
+                    Complex64::ZERO,
+                    Complex64::new(0.0, -1.0),
+                    Complex64::I,
+                    Complex64::ZERO,
+                ],
+            ),
+            GateKind::Z => CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0]),
+            GateKind::H => {
+                let h = 1.0 / 2.0_f64.sqrt();
+                CMatrix::from_real(2, &[h, h, h, -h])
+            }
+            GateKind::S => CMatrix::from_slice(
+                2,
+                &[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::I],
+            ),
+            GateKind::T => CMatrix::from_slice(
+                2,
+                &[
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::cis(std::f64::consts::FRAC_PI_4),
+                ],
+            ),
+            GateKind::Sx => {
+                let a = Complex64::new(0.5, 0.5);
+                let b = Complex64::new(0.5, -0.5);
+                CMatrix::from_slice(2, &[a, b, b, a])
+            }
+            GateKind::Rx => CMatrix::from_slice(2, &[c, isin, isin, c]),
+            GateKind::Ry => CMatrix::from_slice(
+                2,
+                &[c, Complex64::real(-s), Complex64::real(s), c],
+            ),
+            GateKind::Rz => CMatrix::from_slice(
+                2,
+                &[
+                    Complex64::cis(-theta / 2.0),
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::cis(theta / 2.0),
+                ],
+            ),
+            GateKind::Phase => CMatrix::from_slice(
+                2,
+                &[
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::cis(theta),
+                ],
+            ),
+            GateKind::Cx => CMatrix::from_real(
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0, //
+                    0.0, 0.0, 1.0, 0.0,
+                ],
+            ),
+            GateKind::Cz => CMatrix::from_real(
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 1.0, 0.0, //
+                    0.0, 0.0, 0.0, -1.0,
+                ],
+            ),
+            GateKind::Crx | GateKind::Cry | GateKind::Crz => {
+                let base = match self {
+                    GateKind::Crx => GateKind::Rx,
+                    GateKind::Cry => GateKind::Ry,
+                    _ => GateKind::Rz,
+                }
+                .matrix(theta);
+                let mut m = CMatrix::identity(4);
+                for i in 0..2 {
+                    for j in 0..2 {
+                        m[(2 + i, 2 + j)] = base[(i, j)];
+                    }
+                }
+                m
+            }
+            GateKind::Swap => CMatrix::from_real(
+                4,
+                &[
+                    1.0, 0.0, 0.0, 0.0, //
+                    0.0, 0.0, 1.0, 0.0, //
+                    0.0, 1.0, 0.0, 0.0, //
+                    0.0, 0.0, 0.0, 1.0,
+                ],
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A gate applied to specific qubits with a concrete angle.
+///
+/// This is the *bound* form consumed by the simulators; symbolic/trainable
+/// parameters live in the `transpile` crate's circuit IR.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::gate::{BoundGate, GateKind};
+///
+/// let g = BoundGate::two(GateKind::Cry, 0, 1, 0.5);
+/// assert_eq!(g.qubits(), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundGate {
+    kind: GateKind,
+    qubits: Vec<usize>,
+    theta: f64,
+}
+
+impl BoundGate {
+    /// Creates a one-qubit bound gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a two-qubit gate.
+    pub fn one(kind: GateKind, qubit: usize, theta: f64) -> Self {
+        assert_eq!(kind.arity(), 1, "{kind} is not a one-qubit gate");
+        BoundGate { kind, qubits: vec![qubit], theta }
+    }
+
+    /// Creates a two-qubit bound gate. For controlled gates `a` is the
+    /// control and `b` the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a one-qubit gate or if `a == b`.
+    pub fn two(kind: GateKind, a: usize, b: usize, theta: f64) -> Self {
+        assert_eq!(kind.arity(), 2, "{kind} is not a two-qubit gate");
+        assert_ne!(a, b, "two-qubit gate requires distinct qubits");
+        BoundGate { kind, qubits: vec![a, b], theta }
+    }
+
+    /// The gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Target qubit indices (control first for controlled gates).
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The bound rotation angle (0 for fixed gates).
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The unitary matrix of this bound gate.
+    pub fn matrix(&self) -> CMatrix {
+        self.kind.matrix(self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const ALL: [GateKind; 17] = [
+        GateKind::X,
+        GateKind::Y,
+        GateKind::Z,
+        GateKind::H,
+        GateKind::S,
+        GateKind::T,
+        GateKind::Sx,
+        GateKind::Rx,
+        GateKind::Ry,
+        GateKind::Rz,
+        GateKind::Phase,
+        GateKind::Cx,
+        GateKind::Cz,
+        GateKind::Crx,
+        GateKind::Cry,
+        GateKind::Crz,
+        GateKind::Swap,
+    ];
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for kind in ALL {
+            for &theta in &[0.0, 0.3, PI / 2.0, PI, 4.2] {
+                assert!(
+                    kind.matrix(theta).is_unitary(1e-12),
+                    "{kind} not unitary at theta={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_at_zero_is_identity() {
+        for kind in [GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Phase] {
+            let m = kind.matrix(0.0);
+            assert!(
+                m.max_abs_diff(&CMatrix::identity(2)) < 1e-12,
+                "{kind}(0) should be identity"
+            );
+        }
+        for kind in [GateKind::Crx, GateKind::Cry, GateKind::Crz] {
+            let m = kind.matrix(0.0);
+            assert!(
+                m.max_abs_diff(&CMatrix::identity(4)) < 1e-12,
+                "{kind}(0) should be identity"
+            );
+        }
+    }
+
+    #[test]
+    fn rx_pi_is_minus_i_x() {
+        let rx = GateKind::Rx.matrix(PI);
+        let minus_ix = GateKind::X.matrix(0.0).scaled(Complex64::new(0.0, -1.0));
+        assert!(rx.max_abs_diff(&minus_ix) < 1e-12);
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = GateKind::Sx.matrix(0.0);
+        let x = GateKind::X.matrix(0.0);
+        assert!(sx.matmul(&sx).max_abs_diff(&x) < 1e-12);
+    }
+
+    #[test]
+    fn cnot_flips_target_when_control_set() {
+        let cx = GateKind::Cx.matrix(0.0);
+        // |10> -> |11>: column 2 should have a 1 in row 3.
+        assert!(cx[(3, 2)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(cx[(2, 3)].approx_eq(Complex64::ONE, 1e-12));
+        // |0x> untouched.
+        assert!(cx[(0, 0)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(cx[(1, 1)].approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn controlled_rotation_acts_only_on_control_one_block() {
+        let cry = GateKind::Cry.matrix(0.7);
+        assert!(cry[(0, 0)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(cry[(1, 1)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(cry[(0, 1)].approx_eq(Complex64::ZERO, 1e-12));
+        let ry = GateKind::Ry.matrix(0.7);
+        assert!(cry[(2, 2)].approx_eq(ry[(0, 0)], 1e-12));
+        assert!(cry[(3, 2)].approx_eq(ry[(1, 0)], 1e-12));
+    }
+
+    #[test]
+    fn arity_matches_matrix_dim() {
+        for kind in ALL {
+            let dim = kind.matrix(0.1).dim();
+            assert_eq!(dim, 1 << kind.arity());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct qubits")]
+    fn bound_two_qubit_gate_rejects_equal_qubits() {
+        let _ = BoundGate::two(GateKind::Cx, 1, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a one-qubit gate")]
+    fn bound_one_rejects_two_qubit_kind() {
+        let _ = BoundGate::one(GateKind::Cx, 0, 0.0);
+    }
+}

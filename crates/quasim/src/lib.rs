@@ -1,0 +1,53 @@
+//! # quasim — quantum circuit simulation substrate
+//!
+//! Exact state-vector and density-matrix simulators for the QuCAD
+//! reproduction (DAC 2023, arXiv:2304.04666). The crate provides:
+//!
+//! - [`math`]: complex scalars and small dense matrices (no external numeric
+//!   crates);
+//! - [`gate`]: the gate alphabet and unitaries, including the controlled
+//!   rotations used by the paper's VQC block;
+//! - [`statevector`]: noise-free pure-state simulation (the paper's
+//!   "perfect environment" `Wp(θ)`);
+//! - [`density`]: dense density-matrix simulation with Kraus noise channels
+//!   (the noisy environment `Wn(θ)`);
+//! - [`noise`]: depolarising / flip / damping channels and classical readout
+//!   confusion, mirroring Qiskit Aer's calibration-driven device model.
+//!
+//! # Examples
+//!
+//! Perfect vs. noisy evaluation of a tiny circuit:
+//!
+//! ```
+//! use quasim::gate::{BoundGate, GateKind};
+//! use quasim::statevector::run_circuit;
+//! use quasim::density::DensityMatrix;
+//! use quasim::noise::KrausChannel;
+//!
+//! let gates = [
+//!     BoundGate::one(GateKind::Ry, 0, 1.0),
+//!     BoundGate::two(GateKind::Cx, 0, 1, 0.0),
+//! ];
+//! let ideal = run_circuit(2, &gates);
+//!
+//! let mut noisy = DensityMatrix::zero_state(2);
+//! for g in &gates {
+//!     noisy.apply_gate(g);
+//!     noisy.apply_channel(&KrausChannel::depolarizing_2q(0.02), &[0, 1]);
+//! }
+//! assert!(noisy.fidelity_with_pure(&ideal) < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod gate;
+pub mod math;
+pub mod noise;
+pub mod statevector;
+
+pub use density::DensityMatrix;
+pub use gate::{BoundGate, GateKind};
+pub use math::{CMatrix, Complex64};
+pub use noise::{KrausChannel, ReadoutError};
+pub use statevector::StateVector;

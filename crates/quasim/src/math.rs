@@ -1,0 +1,491 @@
+//! Complex arithmetic and small dense complex matrices.
+//!
+//! The workspace deliberately avoids external numeric crates, so this module
+//! provides the minimal linear algebra the simulators need: a [`Complex64`]
+//! scalar and a row-major dense [`CMatrix`] used for gate unitaries and Kraus
+//! operators. Register-sized objects (state vectors, density matrices) live in
+//! their own modules and use specialised bit-indexed kernels instead of
+//! general matrix products.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::math::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates `exp(i * phi)` on the unit circle.
+    #[inline]
+    pub fn cis(phi: f64) -> Self {
+        Complex64 { re: phi.cos(), im: phi.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|^2`, cheaper than [`Complex64::abs`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Returns `true` when both parts are within `tol` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+/// A dense, row-major complex matrix.
+///
+/// Used for gate unitaries (2×2 and 4×4) and Kraus operators. Not intended
+/// for register-sized objects; those use specialised kernels.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::math::CMatrix;
+///
+/// let x = CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]);
+/// assert!(x.is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    dim: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `dim × dim` zero matrix.
+    pub fn zeros(dim: usize) -> Self {
+        CMatrix { dim, data: vec![Complex64::ZERO; dim * dim] }
+    }
+
+    /// Creates the `dim × dim` identity matrix.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = CMatrix::zeros(dim);
+        for i in 0..dim {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of complex entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != dim * dim`.
+    pub fn from_slice(dim: usize, entries: &[Complex64]) -> Self {
+        assert_eq!(entries.len(), dim * dim, "entry count must be dim^2");
+        CMatrix { dim, data: entries.to_vec() }
+    }
+
+    /// Creates a matrix from a row-major slice of real entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != dim * dim`.
+    pub fn from_real(dim: usize, entries: &[f64]) -> Self {
+        assert_eq!(entries.len(), dim * dim, "entry count must be dim^2");
+        CMatrix {
+            dim,
+            data: entries.iter().map(|&re| Complex64::real(re)).collect(),
+        }
+    }
+
+    /// Matrix dimension (the matrix is square).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row-major view of the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.dim, rhs.dim, "matrix dimensions must match");
+        let n = self.dim;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> CMatrix {
+        let n = self.dim;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let (a, b) = (self.dim, rhs.dim);
+        let n = a * b;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..a {
+            for j in 0..a {
+                let s = self[(i, j)];
+                if s == Complex64::ZERO {
+                    continue;
+                }
+                for k in 0..b {
+                    for l in 0..b {
+                        out[(i * b + k, j * b + l)] = s * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scaled(&self, s: Complex64) -> CMatrix {
+        CMatrix { dim: self.dim, data: self.data.iter().map(|&z| z * s).collect() }
+    }
+
+    /// Entrywise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.dim, rhs.dim, "matrix dimensions must match");
+        CMatrix {
+            dim: self.dim,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Trace `Σ_i A[i,i]`.
+    pub fn trace(&self) -> Complex64 {
+        (0..self.dim).map(|i| self[(i, i)]).fold(Complex64::ZERO, |a, b| a + b)
+    }
+
+    /// Checks `A† A = I` within tolerance `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = self.dagger().matmul(self);
+        let id = CMatrix::identity(self.dim);
+        prod.data
+            .iter()
+            .zip(id.data.iter())
+            .all(|(&a, &b)| a.approx_eq(b, tol))
+    }
+
+    /// Maximum entrywise absolute difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
+        assert_eq!(self.dim, other.dim, "matrix dimensions must match");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.dim + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.dim + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn complex_field_axioms() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        assert!(((a + b) - (b + a)).abs() < TOL);
+        assert!(((a * b) - (b * a)).abs() < TOL);
+        assert!((a * Complex64::ONE - a).abs() < TOL);
+        assert!((a + (-a)).abs() < TOL);
+        let recovered = (a / b) * b;
+        assert!(recovered.approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let phi = k as f64 * 0.41;
+            assert!((Complex64::cis(phi).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn conj_is_involution() {
+        let z = Complex64::new(0.7, -0.3);
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let x = CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]);
+        let id = CMatrix::identity(2);
+        assert_eq!(x.matmul(&id), x);
+        assert_eq!(id.matmul(&x), x);
+    }
+
+    #[test]
+    fn pauli_x_squares_to_identity() {
+        let x = CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]);
+        assert!(x.matmul(&x).max_abs_diff(&CMatrix::identity(2)) < TOL);
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = CMatrix::from_slice(
+            2,
+            &[
+                Complex64::new(1.0, 1.0),
+                Complex64::new(0.0, 2.0),
+                Complex64::new(-1.0, 0.5),
+                Complex64::new(0.3, 0.0),
+            ],
+        );
+        let b = CMatrix::from_slice(
+            2,
+            &[
+                Complex64::new(0.5, -1.0),
+                Complex64::new(2.0, 0.0),
+                Complex64::new(0.0, 1.0),
+                Complex64::new(1.0, 1.0),
+            ],
+        );
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(lhs.max_abs_diff(&rhs) < TOL);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let id = CMatrix::identity(2);
+        let x = CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]);
+        let k = id.kron(&x);
+        assert_eq!(k.dim(), 4);
+        // Block structure: diag(X, X).
+        assert_eq!(k[(0, 1)], Complex64::ONE);
+        assert_eq!(k[(2, 3)], Complex64::ONE);
+        assert_eq!(k[(0, 2)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn trace_of_identity_is_dim() {
+        let id = CMatrix::identity(5);
+        assert!((id.trace().re - 5.0).abs() < TOL);
+        assert!(id.trace().im.abs() < TOL);
+    }
+
+    #[test]
+    fn unitarity_check_accepts_rotation() {
+        let phi: f64 = 0.37;
+        let u = CMatrix::from_slice(
+            2,
+            &[
+                Complex64::real(phi.cos()),
+                Complex64::real(-phi.sin()),
+                Complex64::real(phi.sin()),
+                Complex64::real(phi.cos()),
+            ],
+        );
+        assert!(u.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn unitarity_check_rejects_scaling() {
+        let m = CMatrix::from_real(2, &[2.0, 0.0, 0.0, 2.0]);
+        assert!(!m.is_unitary(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry count")]
+    fn from_real_wrong_len_panics() {
+        let _ = CMatrix::from_real(2, &[1.0, 2.0, 3.0]);
+    }
+}

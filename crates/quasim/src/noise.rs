@@ -1,0 +1,338 @@
+//! Quantum noise channels (Kraus form) and classical readout error.
+//!
+//! These implement the same device-noise model class used by Qiskit Aer's
+//! basic backend noise models, which the paper relies on: a depolarising
+//! channel after every gate whose strength is taken from the day's
+//! calibration data, plus a classical readout confusion channel applied to
+//! measurement outcomes.
+
+use crate::math::{CMatrix, Complex64};
+
+/// A completely-positive trace-preserving map in Kraus form.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::noise::KrausChannel;
+///
+/// let ch = KrausChannel::depolarizing_1q(0.01);
+/// assert!(ch.is_trace_preserving(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    ops: Vec<CMatrix>,
+    arity: usize,
+}
+
+impl KrausChannel {
+    /// Builds a channel from explicit Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty, the operators are not all 2×2 or all 4×4,
+    /// or the completeness relation `Σ K†K = I` fails beyond `1e-9`.
+    pub fn from_kraus(ops: Vec<CMatrix>) -> Self {
+        assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
+        let dim = ops[0].dim();
+        assert!(dim == 2 || dim == 4, "only 1- and 2-qubit channels supported");
+        assert!(ops.iter().all(|k| k.dim() == dim), "mixed Kraus dimensions");
+        let arity = if dim == 2 { 1 } else { 2 };
+        let ch = KrausChannel { ops, arity };
+        assert!(ch.is_trace_preserving(1e-9), "Kraus completeness relation violated");
+        ch
+    }
+
+    /// The identity (no-op) channel on `arity` qubits.
+    pub fn identity(arity: usize) -> Self {
+        let dim = 1usize << arity;
+        KrausChannel { ops: vec![CMatrix::identity(dim)], arity }
+    }
+
+    /// One-qubit depolarising channel
+    /// `ρ → (1−λ)ρ + λ·I/2`, with `λ` clamped to `[0, 1]`.
+    pub fn depolarizing_1q(lambda: f64) -> Self {
+        let l = lambda.clamp(0.0, 1.0);
+        let paulis = [
+            CMatrix::identity(2),
+            CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]),
+            CMatrix::from_slice(
+                2,
+                &[
+                    Complex64::ZERO,
+                    Complex64::new(0.0, -1.0),
+                    Complex64::I,
+                    Complex64::ZERO,
+                ],
+            ),
+            CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0]),
+        ];
+        let mut ops = Vec::with_capacity(4);
+        ops.push(paulis[0].scaled(Complex64::real((1.0 - 3.0 * l / 4.0).sqrt())));
+        let w = Complex64::real((l / 4.0).sqrt());
+        for p in &paulis[1..] {
+            ops.push(p.scaled(w));
+        }
+        KrausChannel { ops, arity: 1 }
+    }
+
+    /// Two-qubit depolarising channel `ρ → (1−λ)ρ + λ·I/4`, with `λ` clamped
+    /// to `[0, 1]`. Built from the 16 two-qubit Pauli products.
+    pub fn depolarizing_2q(lambda: f64) -> Self {
+        let l = lambda.clamp(0.0, 1.0);
+        let paulis = [
+            CMatrix::identity(2),
+            CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]),
+            CMatrix::from_slice(
+                2,
+                &[
+                    Complex64::ZERO,
+                    Complex64::new(0.0, -1.0),
+                    Complex64::I,
+                    Complex64::ZERO,
+                ],
+            ),
+            CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0]),
+        ];
+        let mut ops = Vec::with_capacity(16);
+        let w_id = Complex64::real((1.0 - 15.0 * l / 16.0).sqrt());
+        let w = Complex64::real((l / 16.0).sqrt());
+        for (i, a) in paulis.iter().enumerate() {
+            for (j, b) in paulis.iter().enumerate() {
+                let weight = if i == 0 && j == 0 { w_id } else { w };
+                ops.push(a.kron(b).scaled(weight));
+            }
+        }
+        KrausChannel { ops, arity: 2 }
+    }
+
+    /// Bit-flip channel: applies X with probability `p` (clamped to `[0,1]`).
+    pub fn bit_flip(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        KrausChannel {
+            ops: vec![
+                CMatrix::identity(2).scaled(Complex64::real((1.0 - p).sqrt())),
+                CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0])
+                    .scaled(Complex64::real(p.sqrt())),
+            ],
+            arity: 1,
+        }
+    }
+
+    /// Phase-flip channel: applies Z with probability `p` (clamped to `[0,1]`).
+    pub fn phase_flip(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        KrausChannel {
+            ops: vec![
+                CMatrix::identity(2).scaled(Complex64::real((1.0 - p).sqrt())),
+                CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0])
+                    .scaled(Complex64::real(p.sqrt())),
+            ],
+            arity: 1,
+        }
+    }
+
+    /// Amplitude-damping channel with decay probability `γ` (clamped to
+    /// `[0,1]`); models T1 relaxation toward `|0⟩`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        let g = gamma.clamp(0.0, 1.0);
+        let k0 = CMatrix::from_real(2, &[1.0, 0.0, 0.0, (1.0 - g).sqrt()]);
+        let k1 = CMatrix::from_real(2, &[0.0, g.sqrt(), 0.0, 0.0]);
+        KrausChannel { ops: vec![k0, k1], arity: 1 }
+    }
+
+    /// Number of qubits the channel acts on (1 or 2).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The Kraus operators.
+    pub fn kraus_ops(&self) -> &[CMatrix] {
+        &self.ops
+    }
+
+    /// Checks the completeness relation `Σ_k K_k† K_k = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        let dim = self.ops[0].dim();
+        let mut acc = CMatrix::zeros(dim);
+        for k in &self.ops {
+            acc = acc.add(&k.dagger().matmul(k));
+        }
+        acc.max_abs_diff(&CMatrix::identity(dim)) <= tol
+    }
+}
+
+/// Per-qubit classical readout confusion.
+///
+/// `p01` is the probability of reading `1` when the true outcome is `0`,
+/// `p10` of reading `0` when the true outcome is `1`.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::noise::ReadoutError;
+///
+/// let r = ReadoutError::symmetric(0.02);
+/// // A perfect |1> is read as 1 with probability 0.98.
+/// assert!((r.apply_to_prob_one(1.0) - 0.98).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutError {
+    /// P(read 1 | true 0).
+    pub p01: f64,
+    /// P(read 0 | true 1).
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Creates a readout error with independent flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p01), "p01 must be a probability");
+        assert!((0.0..=1.0).contains(&p10), "p10 must be a probability");
+        ReadoutError { p01, p10 }
+    }
+
+    /// Symmetric readout error: both flips with probability `p`.
+    pub fn symmetric(p: f64) -> Self {
+        ReadoutError::new(p, p)
+    }
+
+    /// The error-free readout.
+    pub fn none() -> Self {
+        ReadoutError { p01: 0.0, p10: 0.0 }
+    }
+
+    /// Pushes a true `P(1)` through the confusion channel.
+    pub fn apply_to_prob_one(&self, p1: f64) -> f64 {
+        (1.0 - p1) * self.p01 + p1 * (1.0 - self.p10)
+    }
+
+    /// Average assignment error `(p01 + p10) / 2`, the single "readout error"
+    /// figure reported by IBM calibrations.
+    pub fn mean_error(&self) -> f64 {
+        0.5 * (self.p01 + self.p10)
+    }
+}
+
+impl Default for ReadoutError {
+    fn default() -> Self {
+        ReadoutError::none()
+    }
+}
+
+/// Applies per-qubit readout confusion to a full computational-basis
+/// distribution in place.
+///
+/// # Panics
+///
+/// Panics if `probs.len()` is not `2^errors.len()`.
+pub fn apply_readout_to_distribution(probs: &mut [f64], errors: &[ReadoutError]) {
+    assert_eq!(
+        probs.len(),
+        1usize << errors.len(),
+        "distribution length must be 2^n_qubits"
+    );
+    for (q, err) in errors.iter().enumerate() {
+        let mask = 1usize << q;
+        for i in 0..probs.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let p0 = probs[i];
+                let p1 = probs[j];
+                probs[i] = p0 * (1.0 - err.p01) + p1 * err.p10;
+                probs[j] = p0 * err.p01 + p1 * (1.0 - err.p10);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtin_channels_trace_preserving() {
+        for p in [0.0, 1e-4, 0.01, 0.3, 1.0] {
+            assert!(KrausChannel::depolarizing_1q(p).is_trace_preserving(1e-10));
+            assert!(KrausChannel::depolarizing_2q(p).is_trace_preserving(1e-10));
+            assert!(KrausChannel::bit_flip(p).is_trace_preserving(1e-10));
+            assert!(KrausChannel::phase_flip(p).is_trace_preserving(1e-10));
+            assert!(KrausChannel::amplitude_damping(p).is_trace_preserving(1e-10));
+        }
+    }
+
+    #[test]
+    fn depolarizing_zero_is_identity_channel() {
+        let ch = KrausChannel::depolarizing_1q(0.0);
+        // All non-identity Kraus weights are zero.
+        assert!(ch.kraus_ops()[0].max_abs_diff(&CMatrix::identity(2)) < 1e-12);
+        for k in &ch.kraus_ops()[1..] {
+            assert!(k.max_abs_diff(&CMatrix::zeros(2)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lambda_is_clamped() {
+        let ch = KrausChannel::depolarizing_1q(7.0);
+        assert!(ch.is_trace_preserving(1e-10));
+        let ch = KrausChannel::depolarizing_2q(-0.5);
+        assert!(ch.is_trace_preserving(1e-10));
+    }
+
+    #[test]
+    fn readout_identity_when_no_error() {
+        let r = ReadoutError::none();
+        for p in [0.0, 0.25, 1.0] {
+            assert!((r.apply_to_prob_one(p) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn readout_asymmetric() {
+        let r = ReadoutError::new(0.1, 0.3);
+        assert!((r.apply_to_prob_one(0.0) - 0.1).abs() < 1e-12);
+        assert!((r.apply_to_prob_one(1.0) - 0.7).abs() < 1e-12);
+        assert!((r.mean_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_readout_preserves_total_probability() {
+        let mut probs = vec![0.1, 0.2, 0.3, 0.4];
+        apply_readout_to_distribution(
+            &mut probs,
+            &[ReadoutError::new(0.05, 0.1), ReadoutError::symmetric(0.2)],
+        );
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_readout_matches_marginal_formula() {
+        // Pure |01> (qubit 0 = 1, qubit 1 = 0).
+        let mut probs = vec![0.0, 1.0, 0.0, 0.0];
+        let e0 = ReadoutError::new(0.02, 0.08);
+        let e1 = ReadoutError::new(0.05, 0.03);
+        apply_readout_to_distribution(&mut probs, &[e0, e1]);
+        let p_q0_one = probs[1] + probs[3];
+        let p_q1_one = probs[2] + probs[3];
+        assert!((p_q0_one - e0.apply_to_prob_one(1.0)).abs() < 1e-12);
+        assert!((p_q1_one - e1.apply_to_prob_one(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn readout_rejects_invalid_probability() {
+        let _ = ReadoutError::new(1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn from_kraus_rejects_non_tp() {
+        let _ = KrausChannel::from_kraus(vec![CMatrix::identity(2).scaled(
+            Complex64::real(0.5),
+        )]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # transpile — circuit IR, routing, and native-gate expansion
+//!
+//! Bridges logical QNN circuits and a physical device:
+//!
+//! - [`circuit`]: parameterised logical circuits ([`circuit::Circuit`])
+//!   whose rotation angles are trainable parameters or fixed constants;
+//! - [`route`]: deterministic greedy SWAP routing onto a restricted
+//!   [`calibration::topology::Topology`], pinning each gate to physical
+//!   qubits — the association `A(g_i)` the paper's noise-aware mask needs;
+//! - [`expand`]: native-gate expansion with pulse-cost accounting, which is
+//!   where compression levels (`0, π/2, π, 3π/2`) translate into shorter,
+//!   less noisy physical circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use transpile::circuit::{Circuit, Param};
+//! use transpile::route::route_identity;
+//! use transpile::expand::expand;
+//! use calibration::topology::Topology;
+//!
+//! let mut c = Circuit::new(4);
+//! c.ry(0, Param::Idx(0)).cry(0, 1, Param::Idx(1));
+//! let phys = route_identity(&c, &Topology::ibm_belem());
+//! let cheap = expand(&phys, &[0.0, 0.0]);   // fully compressed
+//! let costly = expand(&phys, &[0.4, 1.3]);  // generic angles
+//! assert!(cheap.length() < costly.length());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod expand;
+pub mod route;
+
+pub use circuit::{Circuit, Op, Param};
+pub use expand::{expand, NativeCircuit, NativeOp};
+pub use route::{route, route_identity, with_fixed_params, PhysicalCircuit};

@@ -1,0 +1,85 @@
+//! Earthquake-detection monitoring: the paper's motivating deployment.
+//!
+//! A seismic-event classifier must run **every day** on a quantum processor
+//! whose noise drifts. This example builds the full QuCAD pipeline — offline
+//! repository from historical calibrations, then a month of online days —
+//! and prints the manager's decision (reuse / compress / failure report)
+//! plus the day's accuracy.
+//!
+//! ```text
+//! cargo run --release --example earthquake_monitor
+//! ```
+
+use calibration::history::{FluctuatingHistory, HistoryConfig};
+use calibration::topology::Topology;
+use qnn::data::Dataset;
+use qnn::executor::NoiseOptions;
+use qnn::model::VqcModel;
+use qnn::train::{evaluate, train, Env, TrainConfig};
+use qucad::framework::{OnlineDecision, Qucad, QucadConfig};
+
+fn main() {
+    let topo = Topology::ibm_belem();
+    let history =
+        FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(90, 11), 60);
+    let data = Dataset::seismic(96, 48, 11);
+    let model = VqcModel::paper_model(4, 2, 4, 2);
+    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 11) };
+
+    println!("training the detector noise-free ...");
+    let base = train(
+        &model,
+        &data.train,
+        Env::Pure,
+        &TrainConfig { epochs: 10, ..TrainConfig::default() },
+        &model.init_weights(3),
+    );
+
+    println!("building the model repository from 60 days of history ...");
+    let config = QucadConfig {
+        k: 4,
+        max_offline_evals: 24,
+        eval_samples: 32,
+        // Require 60% accuracy; worse matches produce failure reports
+        // (Guidance 2) instead of silently degraded predictions.
+        accuracy_requirement: Some(0.60),
+        ..QucadConfig::default()
+    };
+    let (mut qucad, stats) = Qucad::build_offline(
+        &model,
+        &topo,
+        noise,
+        history.offline(),
+        &data.train,
+        &data.test,
+        &base.weights,
+        &config,
+    );
+    println!(
+        "repository ready: {} entries, guidance threshold {:.4}, offline cost {} evals",
+        stats.n_entries, stats.threshold, stats.n_evals
+    );
+
+    println!("\n--- 30 days of monitoring ---");
+    let exec = qucad.executor().clone();
+    for snap in history.online() {
+        let (weights, decision, cost) = qucad.online_day(snap);
+        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        let acc = evaluate(&model, env, &data.test, &weights);
+        let what = match &decision {
+            OnlineDecision::Reused { index, distance } => {
+                format!("reuse entry {index} (distance {distance:.4})")
+            }
+            OnlineDecision::Compressed { index } => {
+                format!("NEW compression -> entry {index} ({cost} evals)")
+            }
+            OnlineDecision::Failure { predicted_accuracy, .. } => {
+                format!(
+                    "FAILURE REPORT: predicted accuracy {predicted_accuracy:.2} \
+                     below requirement"
+                )
+            }
+        };
+        println!("day {:>3}: accuracy {acc:.3}  |  {what}", snap.day);
+    }
+}

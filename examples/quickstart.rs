@@ -1,0 +1,61 @@
+//! Quickstart: train a QNN, watch noise hurt it, compress it back to health.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::data::Dataset;
+use qnn::executor::{NoiseOptions, NoisyExecutor};
+use qnn::model::VqcModel;
+use qnn::train::{evaluate, train, Env, TrainConfig};
+use qucad::admm::{compress, AdmmConfig};
+use qucad::levels::CompressionTable;
+
+fn main() {
+    // 1. A dataset and the paper's VQC model (4 qubits, 3 classes, Iris).
+    let data = Dataset::iris(7);
+    let model = VqcModel::paper_model(4, 3, 4, 2);
+    println!("model: {} qubits, {} weights", model.n_qubits(), model.n_weights());
+
+    // 2. Train noise-free.
+    let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+    let base = train(&model, &data.train, Env::Pure, &cfg, &model.init_weights(1));
+    let clean_acc = evaluate(&model, Env::Pure, &data.test, &base.weights);
+    println!("noise-free test accuracy: {clean_acc:.3}");
+
+    // 3. A noisy day on ibm_belem (finite shots, calibration-driven noise).
+    let topo = Topology::ibm_belem();
+    let exec = NoisyExecutor::new(
+        &model,
+        &topo,
+        NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 7) },
+    );
+    let bad_day = CalibrationSnapshot::uniform(&topo, 0, 1e-3, 3.5e-2, 0.04);
+    let env = Env::Noisy { exec: &exec, snapshot: &bad_day };
+    let noisy_acc = evaluate(&model, env, &data.test, &base.weights);
+    println!("accuracy under today's noise: {noisy_acc:.3}");
+
+    // 4. Noise-aware compression (ADMM toward the breakpoint angles).
+    let out = compress(
+        &model,
+        &exec,
+        &data.train,
+        &bad_day,
+        &CompressionTable::standard(),
+        &AdmmConfig::default(),
+        &base.weights,
+    );
+    let compressed_acc = evaluate(&model, env, &data.test, &out.weights);
+    println!(
+        "compressed: {} of {} weights pinned to levels, accuracy {compressed_acc:.3}",
+        out.n_compressed(),
+        model.n_weights()
+    );
+    println!(
+        "physical circuit length: {} -> {}",
+        exec.circuit_length(&data.test[0].features, &base.weights),
+        exec.circuit_length(&data.test[0].features, &out.weights),
+    );
+}

@@ -1,0 +1,78 @@
+//! Inspecting the model repository: what the offline constructor built and
+//! how the online manager matches calibrations against it.
+//!
+//! ```text
+//! cargo run --release --example repository_inspection
+//! ```
+
+use calibration::history::{FluctuatingHistory, HistoryConfig};
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::data::Dataset;
+use qnn::executor::NoiseOptions;
+use qnn::model::VqcModel;
+use qnn::train::{train, Env, TrainConfig};
+use qucad::framework::{Qucad, QucadConfig};
+use qucad::levels::CompressionTable;
+use qucad::repository::MatchOutcome;
+
+fn main() {
+    let topo = Topology::ibm_belem();
+    let history =
+        FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(70, 5), 50);
+    let data = Dataset::iris(5);
+    let model = VqcModel::paper_model(4, 3, 4, 2);
+    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 5) };
+
+    let base = train(
+        &model,
+        &data.train,
+        Env::Pure,
+        &TrainConfig { epochs: 8, ..TrainConfig::default() },
+        &model.init_weights(9),
+    );
+
+    let config = QucadConfig { k: 4, max_offline_evals: 20, eval_samples: 24, ..QucadConfig::default() };
+    let (qucad, stats) = Qucad::build_offline(
+        &model, &topo, noise, history.offline(), &data.train, &data.test,
+        &base.weights, &config,
+    );
+
+    println!("offline stage evaluated {} days; threshold th_w = {:.4}\n", stats.days_evaluated, stats.threshold);
+
+    let table = CompressionTable::standard();
+    println!("repository entries:");
+    for (i, e) in qucad.repository().entries().iter().enumerate() {
+        let at_level = e
+            .weights
+            .iter()
+            .filter(|&&w| table.nearest(w).1 < 1e-9)
+            .count();
+        println!(
+            "  entry {i}: cluster mean accuracy {:.3}, {}/{} weights at \
+             compression levels, centroid mean CX error {:.4}",
+            e.mean_accuracy.unwrap_or(f64::NAN),
+            at_level,
+            e.weights.len(),
+            CalibrationSnapshot::from_feature_vector(&topo, 0, &e.centroid)
+                .mean_cnot_error(),
+        );
+    }
+
+    println!("\nmatching the next 10 online days:");
+    for snap in history.online().iter().take(10) {
+        match qucad.repository().match_snapshot(snap) {
+            MatchOutcome::Hit { index, distance } => {
+                println!("  day {:>3}: HIT entry {index} at distance {distance:.4}", snap.day)
+            }
+            MatchOutcome::Miss { nearest_distance } => println!(
+                "  day {:>3}: MISS (nearest {nearest_distance:.4} > th_w) — would compress",
+                snap.day
+            ),
+            MatchOutcome::Invalid { index, predicted_accuracy } => println!(
+                "  day {:>3}: INVALID entry {index} (predicted accuracy {predicted_accuracy:.2})",
+                snap.day
+            ),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # qucad-suite — umbrella for the QuCAD reproduction workspace
+//!
+//! Re-exports the workspace crates so the examples and integration tests
+//! under the repository root can address the whole stack through one
+//! dependency. See the individual crates for the real APIs:
+//!
+//! - [`quasim`] — state-vector / density-matrix simulators and noise
+//!   channels;
+//! - [`calibration`] — topologies, calibration snapshots, fluctuating-noise
+//!   histories;
+//! - [`transpile`] — circuit IR, routing, native-gate expansion;
+//! - [`qnn`] — models, datasets, training, noisy execution;
+//! - [`qucad`] — the compression-aided framework itself.
+
+pub use calibration;
+pub use qnn;
+pub use quasim;
+pub use qucad;
+pub use transpile;

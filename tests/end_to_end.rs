@@ -1,0 +1,177 @@
+//! End-to-end integration tests spanning every crate: data → model →
+//! training → routing → noisy execution → compression → repository →
+//! online management.
+
+use calibration::history::{FluctuatingHistory, HistoryConfig};
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::data::Dataset;
+use qnn::executor::{NoiseOptions, NoisyExecutor};
+use qnn::model::VqcModel;
+use qnn::train::{evaluate, train, Env, TrainConfig};
+use qucad::admm::{compress, AdmmConfig};
+use qucad::framework::{
+    run_method, Method, OnlineDecision, Qucad, QucadConfig, RunContext,
+};
+use qucad::levels::CompressionTable;
+
+fn quick_admm() -> AdmmConfig {
+    AdmmConfig {
+        rounds: 3,
+        theta_steps: 1,
+        batch_size: 8,
+        finetune_pure_epochs: 1,
+        finetune_steps: 8,
+        ..AdmmConfig::default()
+    }
+}
+
+fn quick_qucad_config() -> QucadConfig {
+    QucadConfig {
+        k: 3,
+        admm: quick_admm(),
+        max_offline_evals: 8,
+        eval_samples: 16,
+        ..QucadConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_iris_on_belem() {
+    let topo = Topology::ibm_belem();
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(26, 3), 18);
+    let data = Dataset::iris(3).truncated(32, 24);
+    let model = VqcModel::paper_model(4, 3, 4, 1);
+    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 3) };
+
+    let base = train(
+        &model,
+        &data.train,
+        Env::Pure,
+        &TrainConfig { epochs: 4, batch_size: 8, ..TrainConfig::default() },
+        &model.init_weights(1),
+    );
+    assert!(base.n_evals > 0);
+
+    let (mut qucad, stats) = Qucad::build_offline(
+        &model,
+        &topo,
+        noise,
+        history.offline(),
+        &data.train,
+        &data.test,
+        &base.weights,
+        &quick_qucad_config(),
+    );
+    assert_eq!(stats.n_entries, 3);
+
+    let exec = qucad.executor().clone();
+    for snap in history.online() {
+        let (weights, _, _) = qucad.online_day(snap);
+        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        let acc = evaluate(&model, env, &data.test, &weights);
+        assert!((0.0..=1.0).contains(&acc));
+        assert_eq!(weights.len(), model.n_weights());
+    }
+    assert!(qucad.repository().len() >= 3);
+}
+
+#[test]
+fn compression_reduces_length_on_every_dataset() {
+    let topo = Topology::ibm_belem();
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 1e-3, 4e-2, 0.03);
+    for (data, model) in [
+        (Dataset::mnist4(24, 8, 1), VqcModel::paper_model(4, 4, 16, 1)),
+        (Dataset::iris(1).truncated(24, 8), VqcModel::paper_model(4, 3, 4, 1)),
+        (Dataset::seismic(24, 8, 1), VqcModel::paper_model(4, 2, 4, 1)),
+    ] {
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+        let base = model.init_weights(5);
+        let out = compress(
+            &model,
+            &exec,
+            &data.train,
+            &snap,
+            &CompressionTable::standard(),
+            &quick_admm(),
+            &base,
+        );
+        let f = &data.train[0].features;
+        assert!(
+            exec.circuit_length(f, &out.weights) <= exec.circuit_length(f, &base),
+            "{}: compression lengthened the circuit",
+            data.name
+        );
+    }
+}
+
+#[test]
+fn method_runner_produces_complete_records() {
+    let topo = Topology::ibm_belem();
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(16, 9), 10);
+    let data = Dataset::seismic(24, 16, 9);
+    let model = VqcModel::paper_model(4, 2, 4, 1);
+    let base = train(
+        &model,
+        &data.train,
+        Env::Pure,
+        &TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() },
+        &model.init_weights(2),
+    );
+    let config = quick_qucad_config();
+    let ctx = RunContext {
+        model: &model,
+        topology: &topo,
+        noise: NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 9) },
+        offline: history.offline(),
+        online: history.online(),
+        train_set: &data.train,
+        test_set: &data.test,
+        base_weights: &base.weights,
+        config: &config,
+        nat_config: qnn::train::SpsaConfig { steps: 5, batch_size: 6, ..Default::default() },
+    };
+    for method in Method::table1() {
+        let run = run_method(method, &ctx);
+        assert_eq!(run.records.len(), history.online().len(), "{:?}", method);
+        for r in &run.records {
+            assert!((0.0..=1.0).contains(&r.accuracy));
+        }
+        // Static methods must not spend online training evals.
+        if matches!(
+            method,
+            Method::Baseline | Method::NoiseAwareOnce | Method::OneTimeCompression
+        ) {
+            assert_eq!(run.online_evals(), 0, "{:?}", method);
+        }
+    }
+}
+
+#[test]
+fn qucad_reuses_entries_under_calm_noise() {
+    // With a nearly flat history every online day must match the offline
+    // clusters: zero online compressions.
+    let topo = Topology::ibm_belem();
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::calm(24, 4), 16);
+    let data = Dataset::iris(4).truncated(24, 16);
+    let model = VqcModel::paper_model(4, 3, 4, 1);
+    let base = model.init_weights(3);
+    let (mut qucad, _) = Qucad::build_offline(
+        &model,
+        &topo,
+        NoiseOptions::default(),
+        history.offline(),
+        &data.train,
+        &data.test,
+        &base,
+        &quick_qucad_config(),
+    );
+    for snap in history.online() {
+        let (_, decision, cost) = qucad.online_day(snap);
+        assert!(
+            matches!(decision, OnlineDecision::Reused { .. }),
+            "calm noise should always hit the repository, got {decision:?}"
+        );
+        assert_eq!(cost, 0);
+    }
+}
