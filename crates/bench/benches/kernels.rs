@@ -97,7 +97,9 @@ fn bench_transpile(c: &mut Criterion) {
         b.iter(|| route_identity(black_box(model.circuit()), &topo))
     });
     let phys = route_identity(model.circuit(), &topo);
-    let full: Vec<f64> = (0..model.circuit().n_params()).map(|i| i as f64 * 0.1).collect();
+    let full: Vec<f64> = (0..model.circuit().n_params())
+        .map(|i| i as f64 * 0.1)
+        .collect();
     g.bench_function("expand_mnist_model", |b| {
         b.iter(|| expand(black_box(&phys), &full))
     });
@@ -138,11 +140,49 @@ fn bench_framework(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_eval");
+    g.sample_size(10);
+    let model = VqcModel::paper_model(4, 2, 4, 2);
+    let topo = Topology::ibm_belem();
+    let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(1024, 1));
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 1e-3, 2e-2, 0.02);
+    let data = Dataset::seismic(8, 24, 3);
+    let weights = model.init_weights(2);
+    let threads = qnn::executor::parallel::worker_threads();
+    g.bench_function("batch_accuracy_24_samples_seq", |b| {
+        b.iter(|| {
+            qnn::executor::parallel::batch_accuracy(
+                black_box(&exec),
+                &data.test,
+                &weights,
+                &snap,
+                0,
+                1,
+            )
+        })
+    });
+    g.bench_function(&format!("batch_accuracy_24_samples_{threads}thr"), |b| {
+        b.iter(|| {
+            qnn::executor::parallel::batch_accuracy(
+                black_box(&exec),
+                &data.test,
+                &weights,
+                &snap,
+                0,
+                threads,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_statevector,
     bench_density,
     bench_transpile,
-    bench_framework
+    bench_framework,
+    bench_parallel_eval
 );
 criterion_main!(benches);

@@ -55,7 +55,10 @@ fn main() {
                     &exp.qucad_config.admm,
                     &exp.base_weights,
                 );
-                let env = Env::Noisy { exec: &exec, snapshot: &online[d] };
+                let env = Env::Noisy {
+                    exec: &exec,
+                    snapshot: &online[d],
+                };
                 evaluate(&exp.model, env, &eval_subset, &out.weights)
             })
             .collect();
@@ -81,7 +84,10 @@ fn main() {
                     &cfg,
                     &exp.base_weights,
                 );
-                let env = Env::Noisy { exec: &exec, snapshot: &online[d] };
+                let env = Env::Noisy {
+                    exec: &exec,
+                    snapshot: &online[d],
+                };
                 evaluate(&exp.model, env, &eval_subset, &out.weights)
             })
             .collect();
@@ -116,7 +122,10 @@ fn main() {
         let accs: Vec<f64> = probe_days
             .iter()
             .map(|&d| {
-                let env = Env::Noisy { exec: &ex, snapshot: &online[d] };
+                let env = Env::Noisy {
+                    exec: &ex,
+                    snapshot: &online[d],
+                };
                 evaluate(&exp.model, env, &eval_subset, &exp.base_weights)
             })
             .collect();
@@ -125,7 +134,10 @@ fn main() {
             format!("{:.4}", mean(&accs)),
         ]);
     }
-    println!("{}", render_table(&["shots", "baseline mean accuracy"], &rows));
+    println!(
+        "{}",
+        render_table(&["shots", "baseline mean accuracy"], &rows)
+    );
     println!(
         "expected shapes: the paper's quarter-turn table beats both extremes; \
          an intermediate threshold wins; k saturates once regimes are covered; \

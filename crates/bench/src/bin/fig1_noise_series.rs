@@ -17,8 +17,11 @@ fn main() {
 
     let topo = Topology::ibm_belem();
     let (off, on) = scale.days();
-    let history =
-        FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(off + on, 42 ^ 0xACCE55), off);
+    let history = FluctuatingHistory::generate(
+        &topo,
+        &HistoryConfig::belem_like(off + on, 42 ^ 0xACCE55),
+        off,
+    );
 
     // Panel 1: device snapshot ranges (the paper's colourbar min/max).
     println!("Device snapshot ranges over {} days:", history.len());

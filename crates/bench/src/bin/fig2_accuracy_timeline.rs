@@ -42,8 +42,14 @@ fn main() {
 
     let s_nat = SeriesSummary::from_series(&nat_acc);
     let s_cmp = SeriesSummary::from_series(&cmp_acc);
-    println!("(a) noise-aware training on first day: mean {}", pct(s_nat.mean_accuracy));
-    println!("(b) compression on first day:          mean {}", pct(s_cmp.mean_accuracy));
+    println!(
+        "(a) noise-aware training on first day: mean {}",
+        pct(s_nat.mean_accuracy)
+    );
+    println!(
+        "(b) compression on first day:          mean {}",
+        pct(s_cmp.mean_accuracy)
+    );
     let worst_nat = nat_acc.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "worst day (noise-aware): {} — the paper's Observation-1 collapse \

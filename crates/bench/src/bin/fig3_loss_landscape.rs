@@ -16,7 +16,10 @@ use std::f64::consts::FRAC_PI_2;
 
 fn main() {
     let scale = Scale::from_env_or_args();
-    banner("Fig. 3: 2-parameter loss landscape, perfect vs noisy", scale);
+    banner(
+        "Fig. 3: 2-parameter loss landscape, perfect vs noisy",
+        scale,
+    );
 
     // A tiny 2-weight model: RY(θ1) + CRY(θ2) ring slice on 2 classes.
     let model = VqcModel::paper_model(2, 2, 2, 1);
@@ -26,7 +29,10 @@ fn main() {
     let exec = NoisyExecutor::new(
         &model,
         &topo,
-        NoiseOptions { scale: 3.0, ..NoiseOptions::default() },
+        NoiseOptions {
+            scale: 3.0,
+            ..NoiseOptions::default()
+        },
     );
     let snap = CalibrationSnapshot::uniform(&topo, 0, 1.5e-3, 4e-2, 0.03);
     let features = [0.6, 1.1];
@@ -81,9 +87,18 @@ fn main() {
         println!("{row}");
     }
     println!();
-    println!("mean |N| with the CRY at level 0 (CNOTs removed): {:.4}", mean(&cry_zero));
-    println!("mean |N| with the CRY at π/2, π, 3π/2:            {:.4}", mean(&cry_quarter));
-    println!("mean |N| with the CRY at generic angles:          {:.4}", mean(&cry_generic));
+    println!(
+        "mean |N| with the CRY at level 0 (CNOTs removed): {:.4}",
+        mean(&cry_zero)
+    );
+    println!(
+        "mean |N| with the CRY at π/2, π, 3π/2:            {:.4}",
+        mean(&cry_quarter)
+    );
+    println!(
+        "mean |N| with the CRY at generic angles:          {:.4}",
+        mean(&cry_generic)
+    );
     // The paper's root-cause analysis: breakpoints exist because the
     // physical circuit gets shorter at the levels. Verify the mechanism on
     // the swept CRY directly.

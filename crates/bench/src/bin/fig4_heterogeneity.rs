@@ -13,7 +13,10 @@ use qucad_bench::{banner, Experiment, Scale, Task};
 
 fn main() {
     let scale = Scale::from_env_or_args();
-    banner("Fig. 4: heterogeneous noise and date-specific compression", scale);
+    banner(
+        "Fig. 4: heterogeneous noise and date-specific compression",
+        scale,
+    );
 
     let exp = Experiment::prepare(Task::Mnist4, scale, 42);
     let online = exp.history.online();
@@ -38,21 +41,21 @@ fn main() {
     }
     let mut headers: Vec<String> = vec!["date".into()];
     headers.extend(
-        exp.topology.edges().iter().map(|&(a, b)| format!("CX{a}_{b}")),
+        exp.topology
+            .edges()
+            .iter()
+            .map(|&(a, b)| format!("CX{a}_{b}")),
     );
     headers.push("worst edge".into());
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     println!("{}", render_table(&hdr_refs, &rows));
-    println!(
-        "expected shape: the worst edge differs across dates (Observation 2)."
-    );
+    println!("expected shape: the worst edge differs across dates (Observation 2).");
     println!();
 
     // Panel (b): compress on each date, test on every following day.
     println!("(b) accuracy of date-compressed models over subsequent days (CSV):");
     let exec = exp.context();
-    let executor =
-        qnn::executor::NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
+    let executor = qnn::executor::NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
     let mut models = Vec::new();
     for &i in &idx {
         eprintln!("[fig4] compressing for day {} ...", online[i].day);
@@ -78,7 +81,10 @@ fn main() {
     for snap in online.iter().step_by(2) {
         let mut row = vec![snap.day.to_string()];
         for w in &models {
-            let env = Env::Noisy { exec: &executor, snapshot: snap };
+            let env = Env::Noisy {
+                exec: &executor,
+                snapshot: snap,
+            };
             row.push(format!("{:.4}", evaluate(&exp.model, env, &eval_subset, w)));
         }
         csv_rows.push(row);

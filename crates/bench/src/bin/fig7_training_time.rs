@@ -12,7 +12,10 @@ use qucad_bench::{banner, Experiment, Scale, Task};
 
 fn main() {
     let scale = Scale::from_env_or_args();
-    banner("Fig. 7: online training cost vs accuracy (4-class MNIST)", scale);
+    banner(
+        "Fig. 7: online training cost vs accuracy (4-class MNIST)",
+        scale,
+    );
 
     let exp = Experiment::prepare(Task::Mnist4, scale, 42);
     let methods = [

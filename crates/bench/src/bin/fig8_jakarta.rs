@@ -17,7 +17,10 @@ use qucad_bench::{banner, Experiment, Scale, Task};
 
 fn main() {
     let scale = Scale::from_env_or_args();
-    banner("Fig. 8: earthquake detection on ibm_jakarta (7 qubits)", scale);
+    banner(
+        "Fig. 8: earthquake detection on ibm_jakarta (7 qubits)",
+        scale,
+    );
 
     let exp = Experiment::prepare_on(Task::Seismic, scale, 42, Topology::ibm_jakarta());
 

@@ -30,7 +30,10 @@ fn main() {
         .cloned()
         .collect();
     let eval_on = |w: &[f64], d: usize| -> f64 {
-        let env = Env::Noisy { exec: &exec, snapshot: &online[d] };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: &online[d],
+        };
         evaluate(&exp.model, env, &eval_subset, w)
     };
 
@@ -66,17 +69,26 @@ fn main() {
             &exp.base_weights,
         );
         // NAT everyday from the base.
-        let env = Env::Noisy { exec: &exec, snapshot: &online[d] };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: &online[d],
+        };
         let nat = train_spsa_masked(
             &exp.model,
             &exp.dataset.train,
             env,
-            &SpsaConfig { seed: 77 + d as u64, ..exp.nat_config },
+            &SpsaConfig {
+                seed: 77 + d as u64,
+                ..exp.nat_config
+            },
             &exp.base_weights,
             &all_trainable,
         );
-        let (aq, au, an) =
-            (eval_on(&wq, d), eval_on(&ub.weights, d), eval_on(&nat.weights, d));
+        let (aq, au, an) = (
+            eval_on(&wq, d),
+            eval_on(&ub.weights, d),
+            eval_on(&nat.weights, d),
+        );
         qucad_acc.push(aq);
         ub_acc.push(au);
         nat_acc.push(an);
@@ -90,7 +102,10 @@ fn main() {
     println!("(a) per-day accuracy (CSV):");
     println!(
         "{}",
-        to_csv(&["day", "qucad", "compression_everyday", "nat_everyday"], &rows_a)
+        to_csv(
+            &["day", "qucad", "compression_everyday", "nat_everyday"],
+            &rows_a
+        )
     );
     println!(
         "means: QuCAD {:.3} | compression-everyday (upper bound) {:.3} | \

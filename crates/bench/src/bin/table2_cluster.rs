@@ -32,16 +32,17 @@ fn main() {
         .collect();
 
     // Offline profiling: base-model accuracy per offline day.
-    let stride =
-        (exp.history.offline().len() / exp.qucad_config.max_offline_evals.max(1)).max(1);
-    let sampled: Vec<&CalibrationSnapshot> =
-        exp.history.offline().iter().step_by(stride).collect();
+    let stride = (exp.history.offline().len() / exp.qucad_config.max_offline_evals.max(1)).max(1);
+    let sampled: Vec<&CalibrationSnapshot> = exp.history.offline().iter().step_by(stride).collect();
     eprintln!("[table2] profiling {} offline days ...", sampled.len());
     let features: Vec<Vec<f64>> = sampled.iter().map(|s| s.feature_vector()).collect();
     let accs: Vec<f64> = sampled
         .iter()
         .map(|snap| {
-            let env = Env::Noisy { exec: &exec, snapshot: snap };
+            let env = Env::Noisy {
+                exec: &exec,
+                snapshot: snap,
+            };
             evaluate(&exp.model, env, &eval_subset, &exp.base_weights)
         })
         .collect();
@@ -58,8 +59,7 @@ fn main() {
             .centroids
             .iter()
             .map(|c| {
-                let snap =
-                    CalibrationSnapshot::from_feature_vector(&exp.topology, 0, c);
+                let snap = CalibrationSnapshot::from_feature_vector(&exp.topology, 0, c);
                 compress(
                     &exp.model,
                     &exec,
@@ -78,9 +78,11 @@ fn main() {
             .iter()
             .zip(models.iter())
             .map(|(c, m)| {
-                let snap =
-                    CalibrationSnapshot::from_feature_vector(&exp.topology, 0, c);
-                let env = Env::Noisy { exec: &exec, snapshot: &snap };
+                let snap = CalibrationSnapshot::from_feature_vector(&exp.topology, 0, c);
+                let env = Env::Noisy {
+                    exec: &exec,
+                    snapshot: &snap,
+                };
                 evaluate(&exp.model, env, &eval_subset, m)
             })
             .collect();
@@ -90,7 +92,10 @@ fn main() {
             .enumerate()
             .map(|(i, snap)| {
                 let g = clustering.assignment[i];
-                let env = Env::Noisy { exec: &exec, snapshot: snap };
+                let env = Env::Noisy {
+                    exec: &exec,
+                    snapshot: snap,
+                };
                 evaluate(&exp.model, env, &eval_subset, &models[g])
             })
             .collect();
@@ -109,7 +114,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Method", "K", "Mean Acc. of Clusters", "Mean Acc. of Samples"],
+            &[
+                "Method",
+                "K",
+                "Mean Acc. of Clusters",
+                "Mean Acc. of Samples"
+            ],
             &rows
         )
     );

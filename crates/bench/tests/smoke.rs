@@ -1,0 +1,37 @@
+//! Not-ignored smoke test: one `Scale::Quick` experiment end-to-end through
+//! the shared harness (dataset → base training → history → offline
+//! repository → online per-day loop), asserting the accuracy series is
+//! finite and in range.
+
+use qucad::framework::Method;
+use qucad_bench::{Experiment, Scale, Task};
+
+#[test]
+fn quick_experiment_end_to_end() {
+    let exp = Experiment::prepare(Task::Seismic, Scale::Quick, 7);
+    let (offline_days, online_days) = Scale::Quick.days();
+    assert_eq!(exp.history.offline().len(), offline_days);
+    assert_eq!(exp.history.online().len(), online_days);
+
+    // Full QuCAD: exercises the offline constructor and every online-manager
+    // decision path reachable at this scale.
+    let run = exp.run(Method::Qucad);
+    assert_eq!(run.records.len(), online_days);
+    for r in &run.records {
+        assert!(
+            r.accuracy.is_finite() && (0.0..=1.0).contains(&r.accuracy),
+            "day {}: accuracy {} out of range",
+            r.day,
+            r.accuracy
+        );
+    }
+
+    // The baseline shares the same evaluation protocol and must also stay
+    // in range.
+    let base = exp.run(Method::Baseline);
+    assert_eq!(base.records.len(), online_days);
+    for r in &base.records {
+        assert!(r.accuracy.is_finite() && (0.0..=1.0).contains(&r.accuracy));
+    }
+    assert_eq!(base.online_evals(), 0, "baseline must not train online");
+}

@@ -174,8 +174,7 @@ impl HistoryConfig {
                 (mu[i] + ou[i] + regime + spike[i]).exp().clamp(1e-6, cap)
             };
 
-            let single_qubit_error: Vec<f64> =
-                (0..nq).map(|q| rate(q, 0.05)).collect();
+            let single_qubit_error: Vec<f64> = (0..nq).map(|q| rate(q, 0.05)).collect();
             let cnot_error: Vec<f64> = (0..ne).map(|e| rate(nq + e, 0.45)).collect();
             let readout: Vec<ReadoutError> = (0..nq)
                 .map(|q| {
@@ -186,7 +185,12 @@ impl HistoryConfig {
                 })
                 .collect();
 
-            out.push(CalibrationSnapshot { day, single_qubit_error, cnot_error, readout });
+            out.push(CalibrationSnapshot {
+                day,
+                single_qubit_error,
+                cnot_error,
+                readout,
+            });
         }
         out
     }
@@ -223,7 +227,10 @@ impl FluctuatingHistory {
             offline_days <= config.n_days,
             "offline phase cannot exceed the history length"
         );
-        FluctuatingHistory { snapshots: config.generate(topology), offline_days }
+        FluctuatingHistory {
+            snapshots: config.generate(topology),
+            offline_days,
+        }
     }
 
     /// Wraps pre-existing snapshots (useful for tests / real data import).
@@ -232,8 +239,14 @@ impl FluctuatingHistory {
     ///
     /// Panics if `offline_days > snapshots.len()`.
     pub fn from_snapshots(snapshots: Vec<CalibrationSnapshot>, offline_days: usize) -> Self {
-        assert!(offline_days <= snapshots.len(), "split exceeds history length");
-        FluctuatingHistory { snapshots, offline_days }
+        assert!(
+            offline_days <= snapshots.len(),
+            "split exceeds history length"
+        );
+        FluctuatingHistory {
+            snapshots,
+            offline_days,
+        }
     }
 
     /// All snapshots in day order.
@@ -324,17 +337,16 @@ mod tests {
         let cnot_means: Vec<f64> = hist.iter().map(|s| s.mean_cnot_error()).collect();
         let m = mean(&cnot_means);
         // Within a factor ~3 of the base (log-normal with spikes skews up).
-        assert!(m > cfg.cnot_base / 3.0 && m < cfg.cnot_base * 5.0, "mean {m}");
+        assert!(
+            m > cfg.cnot_base / 3.0 && m < cfg.cnot_base * 5.0,
+            "mean {m}"
+        );
     }
 
     #[test]
     fn noise_actually_fluctuates() {
         let topo = Topology::ibm_belem();
-        let hist = FluctuatingHistory::generate(
-            &topo,
-            &HistoryConfig::belem_like(300, 11),
-            200,
-        );
+        let hist = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(300, 11), 200);
         // CNOT error on the first edge varies by at least 2x across the year.
         let series = hist.feature_series(5);
         let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -346,8 +358,10 @@ mod tests {
     fn heterogeneity_worst_edge_changes_over_time() {
         let topo = Topology::ibm_belem();
         let hist = HistoryConfig::belem_like(365, 13).generate(&topo);
-        let mut worst: Vec<usize> =
-            hist.iter().filter_map(|s| s.worst_cnot_edge().map(|(i, _)| i)).collect();
+        let mut worst: Vec<usize> = hist
+            .iter()
+            .filter_map(|s| s.worst_cnot_edge().map(|(i, _)| i))
+            .collect();
         worst.dedup();
         // Observation 2: the noisiest edge is not constant.
         assert!(worst.len() > 3, "worst edge never changed");
@@ -364,11 +378,7 @@ mod tests {
     #[test]
     fn split_phases_partition_history() {
         let topo = Topology::ibm_jakarta();
-        let h = FluctuatingHistory::generate(
-            &topo,
-            &HistoryConfig::jakarta_like(60, 2),
-            45,
-        );
+        let h = FluctuatingHistory::generate(&topo, &HistoryConfig::jakarta_like(60, 2), 45);
         assert_eq!(h.offline().len() + h.online().len(), h.len());
         assert_eq!(h.online()[0].day, 45);
     }

@@ -29,7 +29,10 @@ pub struct ParseHistoryError {
 
 impl ParseHistoryError {
     fn new(line: usize, reason: impl Into<String>) -> Self {
-        ParseHistoryError { line, reason: reason.into() }
+        ParseHistoryError {
+            line,
+            reason: reason.into(),
+        }
     }
 
     /// 1-based line number of the offending row (0 for structural errors).
@@ -71,7 +74,11 @@ pub fn to_csv(topology: &Topology, snapshots: &[CalibrationSnapshot]) -> String 
     let mut out = csv_header(topology);
     out.push('\n');
     for s in snapshots {
-        assert_eq!(s.n_qubits(), topology.n_qubits(), "snapshot/topology mismatch");
+        assert_eq!(
+            s.n_qubits(),
+            topology.n_qubits(),
+            "snapshot/topology mismatch"
+        );
         let mut cols = vec![s.day.to_string()];
         for &e in &s.single_qubit_error {
             cols.push(format!("{e:.17e}"));

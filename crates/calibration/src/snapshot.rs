@@ -152,9 +152,7 @@ impl CalibrationSnapshot {
             cnot_error: v[nq..nq + ne].iter().map(|&x| clamp(x)).collect(),
             readout: v[nq + ne..]
                 .iter()
-                .map(|&e| {
-                    ReadoutError::new(clamp(0.8 * e), clamp(1.2 * e))
-                })
+                .map(|&e| ReadoutError::new(clamp(0.8 * e), clamp(1.2 * e)))
                 .collect(),
         }
     }
@@ -217,7 +215,7 @@ mod tests {
         assert_eq!(v.len(), 5 + 4 + 5);
         assert_eq!(v[4], 1e-3); // q4 single error
         assert_eq!(v[5 + 2], 0.05); // edge (1,3)
-        assert!((v[9 + 0] - 0.02).abs() < 1e-12);
+        assert!((v[9] - 0.02).abs() < 1e-12);
         let labels = CalibrationSnapshot::feature_labels(&topo);
         assert_eq!(labels.len(), v.len());
         assert_eq!(labels[7], "cx_err[q1,q3]");

@@ -58,7 +58,12 @@ impl Topology {
                 "coupling graph must be connected"
             );
         }
-        Topology { name: name.into(), n_qubits, edges: canon, dist }
+        Topology {
+            name: name.into(),
+            n_qubits,
+            edges: canon,
+            dist,
+        }
     }
 
     /// The 5-qubit `ibm_belem` T-shaped map: `0−1−2`, `1−3−4`.

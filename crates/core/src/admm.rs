@@ -119,7 +119,11 @@ pub fn compress(
     init_weights: &[f64],
 ) -> CompressionOutcome {
     assert!(!train_set.is_empty(), "empty training set");
-    assert_eq!(init_weights.len(), model.n_weights(), "weight count mismatch");
+    assert_eq!(
+        init_weights.len(),
+        model.n_weights(),
+        "weight count mismatch"
+    );
 
     let assocs: Vec<GateAssoc> = gate_associations(model, exec.physical_circuit());
     let topology = exec.topology();
@@ -128,14 +132,24 @@ pub fn compress(
         .iter()
         .map(|a| snapshot.noise_on(topology, &a.physical_qubits))
         .collect();
-    let two_qubit: Vec<bool> =
-        assocs.iter().map(|a| a.physical_qubits.len() == 2).collect();
-    let beta = if config.noise_aware { config.level_noise_weight } else { 0.0 };
+    let two_qubit: Vec<bool> = assocs
+        .iter()
+        .map(|a| a.physical_qubits.len() == 2)
+        .collect();
+    let beta = if config.noise_aware {
+        config.level_noise_weight
+    } else {
+        0.0
+    };
     let target_level = |i: usize, v: f64| -> f64 {
         table
             .best_level(v, |l| {
                 let exposure = if two_qubit[i] {
-                    if l.abs() < 1e-9 { 0.0 } else { 2.0 }
+                    if l.abs() < 1e-9 {
+                        0.0
+                    } else {
+                        2.0
+                    }
                 } else {
                     transpile::expand::rotation_pulses(l) as f64
                 };
@@ -154,7 +168,14 @@ pub fn compress(
     let mut order: Vec<usize> = (0..train_set.len()).collect();
     for _round in 0..config.rounds {
         // (1) Regenerate the mask from the current θ and calibration data.
-        let p = priorities(&theta, &assocs, snapshot, topology, table, config.noise_aware);
+        let p = priorities(
+            &theta,
+            &assocs,
+            snapshot,
+            topology,
+            table,
+            config.noise_aware,
+        );
         mask = config.rule.select(&p);
 
         // (2) θ-update: a few Adam steps on f(θ) + ρ/2 Σ_masked (θ−z+u)².
@@ -212,7 +233,14 @@ pub fn compress(
 
     // Final projection: pin masked parameters to their (gate-related)
     // levels.
-    let p = priorities(&theta, &assocs, snapshot, topology, table, config.noise_aware);
+    let p = priorities(
+        &theta,
+        &assocs,
+        snapshot,
+        topology,
+        table,
+        config.noise_aware,
+    );
     mask = config.rule.select(&p);
     for i in 0..theta.len() {
         if mask[i] {
@@ -234,9 +262,8 @@ pub fn compress(
             seed: config.seed ^ 0x51ed_270b,
             grad_step: config.grad_step,
         };
-        let result = qnn::train::train_masked(
-            model, train_set, Env::Pure, &rec_cfg, &theta, &trainable,
-        );
+        let result =
+            qnn::train::train_masked(model, train_set, Env::Pure, &rec_cfg, &theta, &trainable);
         theta = result.weights;
         n_evals += result.n_evals;
     }
@@ -244,24 +271,25 @@ pub fn compress(
     // Noise-injection fine-tuning with compressed parameters frozen.
     // SPSA keeps the noisy-environment cost at two circuit evaluations per
     // step instead of two per weight.
-    if config.finetune_steps > 0 {
-        if trainable.iter().any(|&t| t) {
-            let ft_cfg = SpsaConfig {
-                steps: config.finetune_steps,
-                batch_size: config.batch_size,
-                lr: 0.10,
-                perturbation: 0.12,
-                seed: config.seed ^ 0x9e37_79b9,
-            };
-            let env = Env::Noisy { exec, snapshot };
-            let result =
-                train_spsa_masked(model, train_set, env, &ft_cfg, &theta, &trainable);
-            theta = result.weights;
-            n_evals += result.n_evals;
-        }
+    if config.finetune_steps > 0 && trainable.iter().any(|&t| t) {
+        let ft_cfg = SpsaConfig {
+            steps: config.finetune_steps,
+            batch_size: config.batch_size,
+            lr: 0.10,
+            perturbation: 0.12,
+            seed: config.seed ^ 0x9e37_79b9,
+        };
+        let env = Env::Noisy { exec, snapshot };
+        let result = train_spsa_masked(model, train_set, env, &ft_cfg, &theta, &trainable);
+        theta = result.weights;
+        n_evals += result.n_evals;
     }
 
-    CompressionOutcome { weights: theta, mask, n_evals }
+    CompressionOutcome {
+        weights: theta,
+        mask,
+        n_evals,
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +310,13 @@ mod tests {
         }
     }
 
-    fn setup() -> (VqcModel, Topology, NoisyExecutor, Dataset, CalibrationSnapshot) {
+    fn setup() -> (
+        VqcModel,
+        Topology,
+        NoisyExecutor,
+        Dataset,
+        CalibrationSnapshot,
+    ) {
         let model = VqcModel::paper_model(4, 3, 4, 1);
         let topo = Topology::ibm_belem();
         let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
@@ -296,12 +330,24 @@ mod tests {
         let (model, _, exec, data, snap) = setup();
         let table = CompressionTable::standard();
         let init = model.init_weights(1);
-        let out = compress(&model, &exec, &data.train, &snap, &table, &quick_cfg(), &init);
+        let out = compress(
+            &model,
+            &exec,
+            &data.train,
+            &snap,
+            &table,
+            &quick_cfg(),
+            &init,
+        );
         assert!(out.n_compressed() > 0, "nothing was compressed");
         for (i, &m) in out.mask.iter().enumerate() {
             if m {
                 let (_, d) = table.nearest(out.weights[i]);
-                assert!(d < 1e-9, "masked weight {i} not at a level: {}", out.weights[i]);
+                assert!(
+                    d < 1e-9,
+                    "masked weight {i} not at a level: {}",
+                    out.weights[i]
+                );
             }
         }
         assert!(out.n_evals > 0);
@@ -312,7 +358,15 @@ mod tests {
         let (model, _, exec, data, snap) = setup();
         let table = CompressionTable::standard();
         let init = model.init_weights(2);
-        let out = compress(&model, &exec, &data.train, &snap, &table, &quick_cfg(), &init);
+        let out = compress(
+            &model,
+            &exec,
+            &data.train,
+            &snap,
+            &table,
+            &quick_cfg(),
+            &init,
+        );
         let f = &data.train[0].features;
         assert!(
             exec.circuit_length(f, &out.weights) < exec.circuit_length(f, &init),
@@ -334,7 +388,11 @@ mod tests {
             &model,
             &data.train,
             Env::Pure,
-            &TrainConfig { epochs: 5, batch_size: 8, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
             &model.init_weights(5),
         );
         // A realistic (non-truncated) compression budget.
@@ -345,13 +403,23 @@ mod tests {
             finetune_steps: 60,
             ..AdmmConfig::default()
         };
-        let out =
-            compress(&model, &exec, &data.train, &heavy, &table, &cfg, &base.weights);
+        let out = compress(
+            &model,
+            &exec,
+            &data.train,
+            &heavy,
+            &table,
+            &cfg,
+            &base.weights,
+        );
         // Average over several shot-noise draws for a stable comparison.
         let mean_acc = |w: &[f64]| -> f64 {
             (0..5)
                 .map(|_| {
-                    let env = Env::Noisy { exec: &exec, snapshot: &heavy };
+                    let env = Env::Noisy {
+                        exec: &exec,
+                        snapshot: &heavy,
+                    };
                     evaluate(&model, env, &data.test, w)
                 })
                 .sum::<f64>()
@@ -370,9 +438,18 @@ mod tests {
     fn noise_agnostic_variant_runs() {
         let (model, _, exec, data, snap) = setup();
         let table = CompressionTable::standard();
-        let cfg = AdmmConfig { noise_aware: false, ..quick_cfg() };
+        let cfg = AdmmConfig {
+            noise_aware: false,
+            ..quick_cfg()
+        };
         let out = compress(
-            &model, &exec, &data.train, &snap, &table, &cfg, &model.init_weights(4),
+            &model,
+            &exec,
+            &data.train,
+            &snap,
+            &table,
+            &cfg,
+            &model.init_weights(4),
         );
         assert!(out.n_compressed() > 0);
     }
@@ -382,8 +459,24 @@ mod tests {
         let (model, _, exec, data, snap) = setup();
         let table = CompressionTable::standard();
         let init = model.init_weights(9);
-        let a = compress(&model, &exec, &data.train, &snap, &table, &quick_cfg(), &init);
-        let b = compress(&model, &exec, &data.train, &snap, &table, &quick_cfg(), &init);
+        let a = compress(
+            &model,
+            &exec,
+            &data.train,
+            &snap,
+            &table,
+            &quick_cfg(),
+            &init,
+        );
+        let b = compress(
+            &model,
+            &exec,
+            &data.train,
+            &snap,
+            &table,
+            &quick_cfg(),
+            &init,
+        );
         assert_eq!(a, b);
     }
 
@@ -393,7 +486,13 @@ mod tests {
         let (model, _, exec, _, snap) = setup();
         let table = CompressionTable::standard();
         let _ = compress(
-            &model, &exec, &[], &snap, &table, &quick_cfg(), &model.init_weights(0),
+            &model,
+            &exec,
+            &[],
+            &snap,
+            &table,
+            &quick_cfg(),
+            &model.init_weights(0),
         );
     }
 }

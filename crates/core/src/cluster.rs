@@ -126,7 +126,10 @@ pub fn weighted_l1(w: &[f64], a: &[f64], b: &[f64]) -> f64 {
 
 /// Squared Euclidean distance (Table II baseline metric).
 pub fn l2_sq(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// k-medians under the weighted L1 metric (the paper's proposed
@@ -258,8 +261,7 @@ fn run_kmeans(
                     // Per-dimension median minimises L1 exactly.
                     (0..dim)
                         .map(|j| {
-                            let mut col: Vec<f64> =
-                                members.iter().map(|s| s[j]).collect();
+                            let mut col: Vec<f64> = members.iter().map(|s| s[j]).collect();
                             col.sort_by(f64::total_cmp);
                             let m = col.len();
                             if m % 2 == 1 {
@@ -286,7 +288,12 @@ fn run_kmeans(
         .map(|(s, &a)| dist(&centroids[a], s))
         .sum();
 
-    Clustering { centroids, assignment, weights: weights.to_vec(), objective }
+    Clustering {
+        centroids,
+        assignment,
+        weights: weights.to_vec(),
+        objective,
+    }
 }
 
 #[cfg(test)]
@@ -332,8 +339,7 @@ mod tests {
         assert_eq!(weighted_l1(&w, &a, &a), 0.0);
         assert_eq!(weighted_l1(&w, &a, &b), weighted_l1(&w, &b, &a));
         assert!(
-            weighted_l1(&w, &a, &c)
-                <= weighted_l1(&w, &a, &b) + weighted_l1(&w, &b, &c) + 1e-12
+            weighted_l1(&w, &a, &c) <= weighted_l1(&w, &a, &b) + weighted_l1(&w, &b, &c) + 1e-12
         );
     }
 

@@ -19,9 +19,9 @@ use crate::repository::{MatchOutcome, ModelRepository, RepositoryEntry};
 use calibration::snapshot::CalibrationSnapshot;
 use calibration::topology::Topology;
 use qnn::data::Sample;
-use qnn::executor::{NoiseOptions, NoisyExecutor};
+use qnn::executor::{parallel, NoiseOptions, NoisyExecutor};
 use qnn::model::VqcModel;
-use qnn::train::{evaluate, train_spsa_masked, Env, SpsaConfig};
+use qnn::train::{train_spsa_masked, Env, SpsaConfig};
 
 /// Framework configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +137,7 @@ impl Qucad {
     ///
     /// Panics if `offline` has fewer days than `config.k`, or the sets are
     /// empty.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_offline(
         model: &VqcModel,
         topology: &Topology,
@@ -154,19 +155,21 @@ impl Qucad {
 
         // 1. Profile the base model across (subsampled) offline days.
         let stride = (offline.len() / config.max_offline_evals.max(1)).max(1);
-        let sampled: Vec<&CalibrationSnapshot> =
-            offline.iter().step_by(stride).collect();
-        let eval_subset: Vec<Sample> =
-            eval_set.iter().take(config.eval_samples).cloned().collect();
-        let mut features: Vec<Vec<f64>> = Vec::with_capacity(sampled.len());
-        let mut accuracies: Vec<f64> = Vec::with_capacity(sampled.len());
-        for snap in &sampled {
-            let env = Env::Noisy { exec: &exec, snapshot: snap };
-            let acc = evaluate(model, env, &eval_subset, base_weights);
-            n_evals += eval_subset.len() as u64;
-            features.push(snap.feature_vector());
-            accuracies.push(acc);
-        }
+        let sampled: Vec<&CalibrationSnapshot> = offline.iter().step_by(stride).collect();
+        let eval_subset: Vec<Sample> = eval_set.iter().take(config.eval_samples).cloned().collect();
+        // Every (day, sample) evaluation is an independent density-matrix
+        // simulation, so profile the whole grid batch-parallel, fanned over
+        // days (deterministic: results are keyed by day/sample index, not
+        // execution order).
+        let features: Vec<Vec<f64>> = sampled.iter().map(|s| s.feature_vector()).collect();
+        let accuracies = parallel::accuracy_over_days(
+            &exec,
+            &sampled,
+            &eval_subset,
+            base_weights,
+            parallel::worker_threads(),
+        );
+        n_evals += (sampled.len() * eval_subset.len()) as u64;
 
         // 2–4. Performance-aware weights + weighted-L1 k-medians.
         let weights = performance_weights(&features, &accuracies);
@@ -183,8 +186,7 @@ impl Qucad {
         let cluster_acc = clustering.cluster_means(&accuracies);
 
         // 5. One compression per centroid.
-        let mut repository =
-            ModelRepository::new(weights, threshold, config.accuracy_requirement);
+        let mut repository = ModelRepository::new(weights, threshold, config.accuracy_requirement);
         for (g, centroid) in clustering.centroids.iter().enumerate() {
             let snap = CalibrationSnapshot::from_feature_vector(topology, 0, centroid);
             let out = compress(
@@ -239,11 +241,8 @@ impl Qucad {
         let f = reference_day.feature_vector();
         let norm: f64 = f.iter().map(|x| x.abs()).sum();
         let threshold = config.fallback_threshold_frac * norm;
-        let repository = ModelRepository::new(
-            vec![1.0; f.len()],
-            threshold,
-            config.accuracy_requirement,
-        );
+        let repository =
+            ModelRepository::new(vec![1.0; f.len()], threshold, config.accuracy_requirement);
         Qucad {
             model: model.clone(),
             exec,
@@ -276,9 +275,15 @@ impl Qucad {
                 OnlineDecision::Reused { index, distance },
                 0,
             ),
-            MatchOutcome::Invalid { index, predicted_accuracy } => (
+            MatchOutcome::Invalid {
+                index,
+                predicted_accuracy,
+            } => (
                 self.repository.weights_of(index).to_vec(),
-                OnlineDecision::Failure { index, predicted_accuracy },
+                OnlineDecision::Failure {
+                    index,
+                    predicted_accuracy,
+                },
                 0,
             ),
             MatchOutcome::Miss { .. } => {
@@ -290,7 +295,11 @@ impl Qucad {
                     mean_accuracy: None,
                     origin_day: snapshot.day,
                 });
-                (out.weights, OnlineDecision::Compressed { index }, out.n_evals)
+                (
+                    out.weights,
+                    OnlineDecision::Compressed { index },
+                    out.n_evals,
+                )
             }
         }
     }
@@ -429,18 +438,47 @@ pub struct RunContext<'a> {
 pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
     assert!(!ctx.online.is_empty(), "no online days to run");
     let exec = NoisyExecutor::new(ctx.model, ctx.topology, ctx.noise);
-    let eval_subset: Vec<Sample> =
-        ctx.test_set.iter().take(ctx.config.eval_samples).cloned().collect();
+    let eval_subset: Vec<Sample> = ctx
+        .test_set
+        .iter()
+        .take(ctx.config.eval_samples)
+        .cloned()
+        .collect();
     let all_trainable = vec![true; ctx.model.n_weights()];
+    let threads = parallel::worker_threads();
 
-    let eval_day = |weights: &[f64], snap: &CalibrationSnapshot| -> f64 {
-        let env = Env::Noisy { exec: &exec, snapshot: snap };
-        evaluate(ctx.model, env, &eval_subset, weights)
+    // Per-day accuracy, batch-parallel over test samples. The shot-noise
+    // stream is keyed on the day's position in the online phase, making the
+    // series independent of evaluation order (and of `threads`): methods
+    // that fan whole days out via `accuracy_over_days` below produce the
+    // same bits as this per-day path.
+    let eval_day = |weights: &[f64], day_index: usize| -> f64 {
+        parallel::batch_accuracy(
+            &exec,
+            &eval_subset,
+            weights,
+            &ctx.online[day_index],
+            day_index as u64,
+            threads,
+        )
+    };
+
+    // Whole-series evaluation of one fixed weight vector (the static
+    // methods), fanned over days instead of samples.
+    let eval_series = |weights: &[f64]| -> Vec<f64> {
+        let days: Vec<&CalibrationSnapshot> = ctx.online.iter().collect();
+        parallel::accuracy_over_days(&exec, &days, &eval_subset, weights, threads)
     };
 
     let nat_finetune = |init: &[f64], snap: &CalibrationSnapshot, seed: u64| {
-        let env = Env::Noisy { exec: &exec, snapshot: snap };
-        let cfg = SpsaConfig { seed, ..ctx.nat_config };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: snap,
+        };
+        let cfg = SpsaConfig {
+            seed,
+            ..ctx.nat_config
+        };
         train_spsa_masked(ctx.model, ctx.train_set, env, &cfg, init, &all_trainable)
     };
 
@@ -449,10 +487,10 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
 
     match method {
         Method::Baseline => {
-            for snap in ctx.online {
+            for (snap, accuracy) in ctx.online.iter().zip(eval_series(ctx.base_weights)) {
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(ctx.base_weights, snap),
+                    accuracy,
                     train_evals: 0,
                     failure_reported: false,
                 });
@@ -462,10 +500,10 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
             let day1 = &ctx.online[0];
             let result = nat_finetune(ctx.base_weights, day1, 101);
             setup_evals = result.n_evals;
-            for snap in ctx.online {
+            for (snap, accuracy) in ctx.online.iter().zip(eval_series(&result.weights)) {
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(&result.weights, snap),
+                    accuracy,
                     train_evals: 0,
                     failure_reported: false,
                 });
@@ -473,12 +511,12 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
         }
         Method::NoiseAwareEveryday => {
             let mut weights = ctx.base_weights.to_vec();
-            for snap in ctx.online {
+            for (day_index, snap) in ctx.online.iter().enumerate() {
                 let result = nat_finetune(&weights, snap, 1000 + snap.day as u64);
                 weights = result.weights;
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(&weights, snap),
+                    accuracy: eval_day(&weights, day_index),
                     train_evals: result.n_evals,
                     failure_reported: false,
                 });
@@ -504,17 +542,17 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
                 ctx.base_weights,
             );
             setup_evals = out.n_evals;
-            for snap in ctx.online {
+            for (snap, accuracy) in ctx.online.iter().zip(eval_series(&out.weights)) {
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(&out.weights, snap),
+                    accuracy,
                     train_evals: 0,
                     failure_reported: false,
                 });
             }
         }
         Method::CompressionEveryday => {
-            for snap in ctx.online {
+            for (day_index, snap) in ctx.online.iter().enumerate() {
                 let out = compress(
                     ctx.model,
                     &exec,
@@ -526,7 +564,7 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
                 );
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(&out.weights, snap),
+                    accuracy: eval_day(&out.weights, day_index),
                     train_evals: out.n_evals,
                     failure_reported: false,
                 });
@@ -542,11 +580,11 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
                 ctx.base_weights,
                 ctx.config,
             );
-            for snap in ctx.online {
+            for (day_index, snap) in ctx.online.iter().enumerate() {
                 let (weights, decision, evals) = qucad.online_day(snap);
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(&weights, snap),
+                    accuracy: eval_day(&weights, day_index),
                     train_evals: evals,
                     failure_reported: matches!(decision, OnlineDecision::Failure { .. }),
                 });
@@ -564,11 +602,11 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
                 ctx.config,
             );
             setup_evals = stats.n_evals;
-            for snap in ctx.online {
+            for (day_index, snap) in ctx.online.iter().enumerate() {
                 let (weights, decision, evals) = qucad.online_day(snap);
                 records.push(DayRecord {
                     day: snap.day,
-                    accuracy: eval_day(&weights, snap),
+                    accuracy: eval_day(&weights, day_index),
                     train_evals: evals,
                     failure_reported: matches!(decision, OnlineDecision::Failure { .. }),
                 });
@@ -576,7 +614,11 @@ pub fn run_method(method: Method, ctx: &RunContext<'_>) -> MethodRun {
         }
     }
 
-    MethodRun { method, records, setup_evals }
+    MethodRun {
+        method,
+        records,
+        setup_evals,
+    }
 }
 
 #[cfg(test)]
@@ -596,14 +638,17 @@ mod tests {
     ) {
         let model = VqcModel::paper_model(4, 3, 4, 1);
         let topo = Topology::ibm_belem();
-        let history =
-            FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(30, 5), 20);
+        let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(30, 5), 20);
         let data = Dataset::iris(3).truncated(24, 20);
         let base = train(
             &model,
             &data.train,
             Env::Pure,
-            &TrainConfig { epochs: 4, batch_size: 8, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 4,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
             &model.init_weights(1),
         )
         .weights;
@@ -714,7 +759,11 @@ mod tests {
             test_set: &data.test,
             base_weights: &base,
             config: &config,
-            nat_config: SpsaConfig { steps: 6, batch_size: 6, ..SpsaConfig::default() },
+            nat_config: SpsaConfig {
+                steps: 6,
+                batch_size: 6,
+                ..SpsaConfig::default()
+            },
         };
         let run = run_method(Method::Baseline, &ctx);
         assert_eq!(run.records.len(), 5);
@@ -750,7 +799,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any_failure, "expected at least one Guidance-2 failure report");
+        assert!(
+            any_failure,
+            "expected at least one Guidance-2 failure report"
+        );
     }
 
     #[test]

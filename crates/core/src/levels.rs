@@ -28,19 +28,24 @@ pub struct CompressionTable {
 impl CompressionTable {
     /// The paper's table: `{0, π/2, π, 3π/2}`.
     pub fn standard() -> Self {
-        CompressionTable { levels: vec![0.0, FRAC_PI_2, PI, 3.0 * FRAC_PI_2] }
+        CompressionTable {
+            levels: vec![0.0, FRAC_PI_2, PI, 3.0 * FRAC_PI_2],
+        }
     }
 
     /// Coarser table `{0, π}` (ablation: fewer levels, larger snaps).
     pub fn coarse() -> Self {
-        CompressionTable { levels: vec![0.0, PI] }
+        CompressionTable {
+            levels: vec![0.0, PI],
+        }
     }
 
     /// Finer table with eighth turns (ablation: more levels, smaller
     /// snaps, but π/4 angles still cost two pulses).
     pub fn fine() -> Self {
-        let levels: Vec<f64> =
-            (0..8).map(|k| k as f64 * std::f64::consts::FRAC_PI_4).collect();
+        let levels: Vec<f64> = (0..8)
+            .map(|k| k as f64 * std::f64::consts::FRAC_PI_4)
+            .collect();
         CompressionTable::from_levels(&levels)
     }
 

@@ -44,7 +44,10 @@ pub fn gate_associations(model: &VqcModel, phys: &PhysicalCircuit) -> Vec<GateAs
                 !assoc.is_empty(),
                 "weight {i} (slot {slot}) has no routed op"
             );
-            GateAssoc { weight_index: i, physical_qubits: assoc[0].clone() }
+            GateAssoc {
+                weight_index: i,
+                physical_qubits: assoc[0].clone(),
+            }
         })
         .collect()
 }
@@ -227,7 +230,10 @@ mod tests {
     #[test]
     fn top_fraction_zero_and_one() {
         let p = [0.1, 0.2];
-        assert_eq!(SelectionRule::TopFraction(0.0).select(&p), vec![false, false]);
+        assert_eq!(
+            SelectionRule::TopFraction(0.0).select(&p),
+            vec![false, false]
+        );
         assert_eq!(SelectionRule::TopFraction(1.0).select(&p), vec![true, true]);
     }
 

@@ -152,20 +152,27 @@ impl ModelRepository {
         let mut best: Option<(usize, f64)> = None;
         for (i, e) in self.entries.iter().enumerate() {
             let d = weighted_l1(&self.distance_weights, &e.centroid, features);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
         match best {
-            None => MatchOutcome::Miss { nearest_distance: f64::INFINITY },
+            None => MatchOutcome::Miss {
+                nearest_distance: f64::INFINITY,
+            },
             Some((index, distance)) => {
                 if distance > self.threshold {
-                    MatchOutcome::Miss { nearest_distance: distance }
+                    MatchOutcome::Miss {
+                        nearest_distance: distance,
+                    }
                 } else if let (Some(req), Some(acc)) =
                     (self.accuracy_requirement, self.entries[index].mean_accuracy)
                 {
                     if acc < req {
-                        MatchOutcome::Invalid { index, predicted_accuracy: acc }
+                        MatchOutcome::Invalid {
+                            index,
+                            predicted_accuracy: acc,
+                        }
                     } else {
                         MatchOutcome::Hit { index, distance }
                     }
@@ -250,7 +257,10 @@ mod tests {
     fn invalid_cluster_reports_failure() {
         let r = repo();
         match r.match_features(&[10.1, 0.0]) {
-            MatchOutcome::Invalid { index, predicted_accuracy } => {
+            MatchOutcome::Invalid {
+                index,
+                predicted_accuracy,
+            } => {
                 assert_eq!(index, 1);
                 assert!((predicted_accuracy - 0.4).abs() < 1e-12);
             }
@@ -262,7 +272,10 @@ mod tests {
     fn no_requirement_disables_guidance_two() {
         let mut r = ModelRepository::new(vec![1.0, 1.0], 1.0, None);
         r.push(entry(vec![0.0, 0.0], Some(0.1)));
-        assert!(matches!(r.match_features(&[0.0, 0.0]), MatchOutcome::Hit { .. }));
+        assert!(matches!(
+            r.match_features(&[0.0, 0.0]),
+            MatchOutcome::Hit { .. }
+        ));
     }
 
     #[test]

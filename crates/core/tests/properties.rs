@@ -1,9 +1,7 @@
 //! Property-based tests of the QuCAD core algorithms.
 
 use proptest::prelude::*;
-use qucad::cluster::{
-    kmedians_weighted_l1, l2_sq, performance_weights, weighted_l1,
-};
+use qucad::cluster::{kmedians_weighted_l1, l2_sq, performance_weights, weighted_l1};
 use qucad::levels::{circular_distance, normalize, CompressionTable};
 use qucad::mask::SelectionRule;
 use qucad::report::SeriesSummary;

@@ -79,8 +79,7 @@ impl Dataset {
     /// Fisher's Iris: 150 samples, 4 features, 3 classes, shuffled with
     /// `seed` and split 100 train / 50 test (the paper's 66.6% / 33.4%).
     pub fn iris(seed: u64) -> Dataset {
-        let raw: Vec<Vec<f64>> =
-            IRIS.iter().map(|r| vec![r.0, r.1, r.2, r.3]).collect();
+        let raw: Vec<Vec<f64>> = IRIS.iter().map(|r| vec![r.0, r.1, r.2, r.3]).collect();
         let labels: Vec<usize> = IRIS.iter().map(|r| r.4).collect();
         let scaled = minmax_scale(&raw, 0.0, std::f64::consts::PI);
         let mut samples: Vec<Sample> = scaled
@@ -91,7 +90,12 @@ impl Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
         samples.shuffle(&mut rng);
         let test = samples.split_off(100);
-        Dataset { name: "iris".into(), n_classes: 3, train: samples, test }
+        Dataset {
+            name: "iris".into(),
+            n_classes: 3,
+            train: samples,
+            test,
+        }
     }
 
     /// Synthetic 4-class MNIST stand-in: 4×4 glyphs for digits {0,1,3,6}
@@ -102,13 +106,21 @@ impl Dataset {
             (0..n)
                 .map(|i| {
                     let label = i % 4;
-                    Sample { features: mnist_glyph(label, rng), label }
+                    Sample {
+                        features: mnist_glyph(label, rng),
+                        label,
+                    }
                 })
                 .collect()
         };
         let train = gen(&mut rng, n_train);
         let test = gen(&mut rng, n_test);
-        Dataset { name: "mnist4".into(), n_classes: 4, train, test }
+        Dataset {
+            name: "mnist4".into(),
+            n_classes: 4,
+            train,
+            test,
+        }
     }
 
     /// Synthetic earthquake detection: binary classification of seismogram
@@ -130,7 +142,12 @@ impl Dataset {
             .map(|(features, label)| Sample { features, label })
             .collect();
         let test = samples.split_off(n_train);
-        Dataset { name: "seismic".into(), n_classes: 2, train: samples, test }
+        Dataset {
+            name: "seismic".into(),
+            n_classes: 2,
+            train: samples,
+            test,
+        }
     }
 }
 
@@ -139,13 +156,21 @@ impl Dataset {
 /// 4×4 prototype glyphs for digits 0, 1, 3, 6 (row-major, intensity 0/1).
 const GLYPHS: [[f64; 16]; 4] = [
     // 0: ring
-    [0., 1., 1., 0., 1., 0., 0., 1., 1., 0., 0., 1., 0., 1., 1., 0.],
+    [
+        0., 1., 1., 0., 1., 0., 0., 1., 1., 0., 0., 1., 0., 1., 1., 0.,
+    ],
     // 1: vertical stroke with base
-    [0., 0., 1., 0., 0., 1., 1., 0., 0., 0., 1., 0., 0., 1., 1., 1.],
+    [
+        0., 0., 1., 0., 0., 1., 1., 0., 0., 0., 1., 0., 0., 1., 1., 1.,
+    ],
     // 3: double bump
-    [1., 1., 1., 0., 0., 0., 1., 0., 0., 1., 1., 0., 1., 1., 1., 0.],
+    [
+        1., 1., 1., 0., 0., 0., 1., 0., 0., 1., 1., 0., 1., 1., 1., 0.,
+    ],
     // 6: loop with open top
-    [0., 1., 1., 0., 1., 0., 0., 0., 1., 1., 1., 0., 1., 1., 1., 0.],
+    [
+        0., 1., 1., 0., 1., 0., 0., 0., 1., 1., 1., 0., 1., 1., 1., 0.,
+    ],
 ];
 
 fn mnist_glyph(class: usize, rng: &mut StdRng) -> Vec<f64> {
@@ -175,8 +200,7 @@ fn mnist_glyph(class: usize, rng: &mut StdRng) -> Vec<f64> {
     // Pixel noise, clamp, scale to angles.
     img.iter()
         .map(|&p| {
-            let noisy =
-                (p + 0.18 * calibration::stats::sample_normal(rng)).clamp(0.0, 1.0);
+            let noisy = (p + 0.18 * calibration::stats::sample_normal(rng)).clamp(0.0, 1.0);
             noisy * std::f64::consts::PI
         })
         .collect()
@@ -191,16 +215,16 @@ fn seismic_features(event: bool, rng: &mut StdRng) -> Vec<f64> {
     let mut trace = [0.0f64; LEN];
     // AR(1) coloured background noise.
     let mut x = 0.0;
-    for t in 0..LEN {
+    for slot in trace.iter_mut() {
         x = 0.7 * x + calibration::stats::sample_normal(rng);
-        trace[t] = x;
+        *slot = x;
     }
     if event {
         let onset = rng.gen_range(16..48);
         let amp = 3.5 + 2.5 * calibration::stats::sample_normal(rng).abs();
-        for t in onset..LEN {
-            let dt = (t - onset) as f64;
-            trace[t] += amp * (-0.10 * dt).exp() * (0.9 * dt).sin();
+        for (dt, slot) in trace[onset..].iter_mut().enumerate() {
+            let dt = dt as f64;
+            *slot += amp * (-0.10 * dt).exp() * (0.9 * dt).sin();
         }
     }
 
@@ -229,7 +253,12 @@ fn seismic_features(event: bool, rng: &mut StdRng) -> Vec<f64> {
 
     // Log-compress heavy-tailed features so the min-max angle scaling is
     // not dominated by outliers.
-    vec![log_energy, (1.0 + max_ratio).ln(), zero_crossings, (1.0 + crest).ln()]
+    vec![
+        log_energy,
+        (1.0 + max_ratio).ln(),
+        zero_crossings,
+        (1.0 + crest).ln(),
+    ]
 }
 
 /// Fisher's Iris data: (sepal length, sepal width, petal length, petal

@@ -34,7 +34,10 @@ impl AngleEncoder {
     pub fn new(n_qubits: usize, n_features: usize) -> Self {
         assert!(n_qubits > 0, "encoder needs at least one qubit");
         assert!(n_features > 0, "encoder needs at least one feature");
-        AngleEncoder { n_qubits, n_features }
+        AngleEncoder {
+            n_qubits,
+            n_features,
+        }
     }
 
     /// Number of qubits.

@@ -42,7 +42,11 @@ pub fn pure_z_scores(model: &VqcModel, features: &[f64], weights: &[f64]) -> Vec
     let gates = model.circuit().bind(&full);
     let mut sv = StateVector::zero_state(model.n_qubits());
     sv.run(&gates);
-    model.measured_logical().iter().map(|&q| sv.expect_z(q)).collect()
+    model
+        .measured_logical()
+        .iter()
+        .map(|&q| sv.expect_z(q))
+        .collect()
 }
 
 /// Options controlling how calibration data maps to channel strengths.
@@ -66,7 +70,12 @@ pub struct NoiseOptions {
 
 impl Default for NoiseOptions {
     fn default() -> Self {
-        NoiseOptions { scale: 1.0, readout: true, shots: None, shot_seed: 0 }
+        NoiseOptions {
+            scale: 1.0,
+            readout: true,
+            shots: None,
+            shot_seed: 0,
+        }
     }
 }
 
@@ -74,7 +83,11 @@ impl NoiseOptions {
     /// The experiment default: exact channels plus 1024-shot sampling, the
     /// typical IBM execution setting the paper's runs used.
     pub fn with_shots(shots: u64, shot_seed: u64) -> Self {
-        NoiseOptions { shots: Some(shots), shot_seed, ..NoiseOptions::default() }
+        NoiseOptions {
+            shots: Some(shots),
+            shot_seed,
+            ..NoiseOptions::default()
+        }
     }
 }
 
@@ -119,9 +132,7 @@ impl NoisyExecutor {
             topology: topology.clone(),
             phys,
             options,
-            shot_rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(
-                options.shot_seed,
-            )),
+            shot_rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(options.shot_seed)),
         }
     }
 
@@ -147,6 +158,11 @@ impl NoisyExecutor {
     /// also eliminate the SWAPs routing would have inserted for them — the
     /// full physical-length saving the paper exploits.
     ///
+    /// Shot noise (when [`NoiseOptions::shots`] is set) draws from a stream
+    /// shared across calls, so two calls with identical inputs return
+    /// different samples. For an order-independent evaluation (required by
+    /// the batch-parallel paths in [`parallel`]) use [`Self::z_scores_seeded`].
+    ///
     /// # Panics
     ///
     /// Panics if slice lengths do not match the model or the snapshot does
@@ -156,6 +172,42 @@ impl NoisyExecutor {
         features: &[f64],
         weights: &[f64],
         snapshot: &CalibrationSnapshot,
+    ) -> Vec<f64> {
+        self.z_scores_impl(features, weights, snapshot, &mut self.shot_rng.borrow_mut())
+    }
+
+    /// [`Self::z_scores`] with shot noise drawn from a private stream
+    /// identified by `stream`.
+    ///
+    /// Calls with the same inputs and the same `stream` return bit-identical
+    /// results regardless of call order, interleaving, or which thread runs
+    /// them — the property the scoped-thread evaluators in [`parallel`] rely
+    /// on for sequential/parallel equivalence. The stream is derived from
+    /// both [`NoiseOptions::shot_seed`] and `stream`, so distinct executors
+    /// keep distinct noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the model or the snapshot does
+    /// not describe this executor's topology.
+    pub fn z_scores_seeded(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        stream: u64,
+    ) -> Vec<f64> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mix_stream(self.options.shot_seed, stream));
+        self.z_scores_impl(features, weights, snapshot, &mut rng)
+    }
+
+    fn z_scores_impl(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        shot_rng: &mut rand::rngs::StdRng,
     ) -> Vec<f64> {
         assert_eq!(
             snapshot.n_qubits(),
@@ -179,9 +231,8 @@ impl NoisyExecutor {
                 let lambda = self.options.scale * snapshot.cnot_error[edge];
                 rho.apply_depolarizing_2q(lambda, qubits[0], qubits[1]);
             } else if op.pulses > 0 {
-                let lambda = self.options.scale
-                    * op.pulses as f64
-                    * snapshot.single_qubit_error[qubits[0]];
+                let lambda =
+                    self.options.scale * op.pulses as f64 * snapshot.single_qubit_error[qubits[0]];
                 rho.apply_depolarizing_1q(lambda, qubits[0]);
             }
         }
@@ -196,12 +247,9 @@ impl NoisyExecutor {
                     p1 = snapshot.readout[phys_q].apply_to_prob_one(p1);
                 }
                 if let Some(shots) = self.options.shots {
-                    let std = (p1.clamp(0.0, 1.0) * (1.0 - p1.clamp(0.0, 1.0))
-                        / shots as f64)
-                        .sqrt();
-                    let z = calibration::stats::sample_normal(
-                        &mut *self.shot_rng.borrow_mut(),
-                    );
+                    let std =
+                        (p1.clamp(0.0, 1.0) * (1.0 - p1.clamp(0.0, 1.0)) / shots as f64).sqrt();
+                    let z = calibration::stats::sample_normal(shot_rng);
                     p1 = (p1 + std * z).clamp(0.0, 1.0);
                 }
                 1.0 - 2.0 * p1
@@ -217,6 +265,189 @@ impl NoisyExecutor {
         let simplified = self.model.circuit().simplified(&full, ANGLE_TOL);
         let phys = route(&simplified, &self.topology, None);
         expand(&phys, &full).length()
+    }
+}
+
+/// SplitMix64-style finalizer combining a base seed with a stream id into
+/// an independent RNG seed (used by [`NoisyExecutor::z_scores_seeded`]).
+fn mix_stream(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod parallel {
+    //! Scoped-thread batch evaluation of density-matrix runs.
+    //!
+    //! The per-day evaluation loop of the QuCAD protocol — accuracy of one
+    //! weight vector over the test set under one calibration snapshot —
+    //! dominates experiment wall time: every sample is an independent dense
+    //! density-matrix simulation. The helpers here fan those independent
+    //! evaluations across OS threads (`std::thread::scope`; no external
+    //! thread-pool dependency) while keeping results **bit-identical to the
+    //! sequential path**:
+    //!
+    //! - every evaluation draws shot noise from its own stream, derived
+    //!   only from `(shot_seed, day_stream, sample index)` via
+    //!   [`NoisyExecutor::z_scores_seeded`] — never from execution order;
+    //! - results are written back by sample index, so ordering is
+    //!   deterministic regardless of thread interleaving.
+    //!
+    //! Consequently `threads = 1` and `threads = N` produce the same bits,
+    //! which [`batch_z_scores`]'s contract (and the workspace's
+    //! `parallel_identity` integration test) guarantees.
+    //!
+    //! Thread count selection: [`worker_threads`] honours the
+    //! `QUCAD_THREADS` environment variable and falls back to
+    //! [`std::thread::available_parallelism`].
+
+    use super::NoisyExecutor;
+    use crate::data::Sample;
+    use crate::loss::{accuracy, predict};
+    use calibration::snapshot::CalibrationSnapshot;
+
+    /// Number of worker threads the batch evaluators should use:
+    /// `QUCAD_THREADS` if set to a positive integer, otherwise the
+    /// machine's available parallelism.
+    pub fn worker_threads() -> usize {
+        if let Ok(v) = std::env::var("QUCAD_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Combines a day-level stream with a sample index into the evaluation
+    /// stream id passed to [`NoisyExecutor::z_scores_seeded`].
+    pub fn eval_stream(day_stream: u64, sample_index: u64) -> u64 {
+        day_stream
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(sample_index)
+    }
+
+    /// Per-sample `⟨Z⟩` scores of `samples` under `snapshot`, fanned over
+    /// `threads` scoped threads.
+    ///
+    /// Result `i` is always computed on stream
+    /// `eval_stream(day_stream, i)`, so the output is bit-identical for
+    /// every `threads` value (1 reproduces the plain sequential loop) and
+    /// results arrive in sample order.
+    pub fn batch_z_scores(
+        exec: &NoisyExecutor,
+        samples: &[Sample],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        day_stream: u64,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let one_sample = |i: usize, exec: &NoisyExecutor| {
+            exec.z_scores_seeded(
+                &samples[i].features,
+                weights,
+                snapshot,
+                eval_stream(day_stream, i as u64),
+            )
+        };
+        if threads <= 1 || samples.len() <= 1 {
+            return (0..samples.len()).map(|i| one_sample(i, exec)).collect();
+        }
+        // Contiguous index chunks, one per worker; each worker owns a clone
+        // of the executor (the shared shot stream's RefCell is not Sync,
+        // and the seeded path never touches it anyway).
+        let chunk = samples.len().div_ceil(threads);
+        let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for start in (0..samples.len()).step_by(chunk) {
+                let end = (start + chunk).min(samples.len());
+                let exec = exec.clone();
+                handles.push(
+                    scope.spawn(move || (start..end).map(|i| one_sample(i, &exec)).collect()),
+                );
+            }
+            for handle in handles {
+                results.push(handle.join().expect("batch evaluation worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Classification accuracy of `weights` on `samples` under `snapshot`,
+    /// evaluated batch-parallel. Deterministic per `day_stream` (see
+    /// [`batch_z_scores`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn batch_accuracy(
+        exec: &NoisyExecutor,
+        samples: &[Sample],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        day_stream: u64,
+        threads: usize,
+    ) -> f64 {
+        assert!(!samples.is_empty(), "empty evaluation set");
+        let preds: Vec<usize> =
+            batch_z_scores(exec, samples, weights, snapshot, day_stream, threads)
+                .iter()
+                .map(|z| predict(z))
+                .collect();
+        let labels: Vec<usize> = samples.iter().map(|s| s.label).collect();
+        accuracy(&preds, &labels)
+    }
+
+    /// Accuracy of one weight vector over many days, fanned over days (the
+    /// outer loop of the paper's protocol for the static Table I methods).
+    ///
+    /// Day `d` uses `day_stream = d`, and within a day samples use
+    /// [`eval_stream`]`(d, i)` — exactly what per-day [`batch_accuracy`]
+    /// calls with `day_stream = d` produce, so day-level and sample-level
+    /// fan-out give bit-identical series.
+    pub fn accuracy_over_days(
+        exec: &NoisyExecutor,
+        days: &[&CalibrationSnapshot],
+        samples: &[Sample],
+        weights: &[f64],
+        threads: usize,
+    ) -> Vec<f64> {
+        assert!(!samples.is_empty(), "empty evaluation set");
+        let one_day = |d: usize, exec: &NoisyExecutor| {
+            batch_accuracy(exec, samples, weights, days[d], d as u64, 1)
+        };
+        if threads <= 1 || days.len() <= 1 {
+            return (0..days.len()).map(|d| one_day(d, exec)).collect();
+        }
+        if days.len() < threads {
+            // Fewer days than cores: the day-level fan-out alone would
+            // leave workers idle, so fan each day's samples instead (same
+            // eval_stream ids, hence the same bits).
+            return (0..days.len())
+                .map(|d| batch_accuracy(exec, samples, weights, days[d], d as u64, threads))
+                .collect();
+        }
+        let chunk = days.len().div_ceil(threads);
+        let mut results: Vec<Vec<f64>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for start in (0..days.len()).step_by(chunk) {
+                let end = (start + chunk).min(days.len());
+                let exec = exec.clone();
+                handles
+                    .push(scope.spawn(move || (start..end).map(|d| one_day(d, &exec)).collect()));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("day evaluation worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
     }
 }
 
@@ -279,8 +510,7 @@ mod tests {
         );
         // And the compressed circuit is strictly shorter.
         assert!(
-            exec.circuit_length(&features, &compressed)
-                < exec.circuit_length(&features, &generic)
+            exec.circuit_length(&features, &compressed) < exec.circuit_length(&features, &generic)
         );
     }
 

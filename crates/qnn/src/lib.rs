@@ -55,6 +55,5 @@ pub use data::{Dataset, Sample};
 pub use executor::{pure_z_scores, NoiseOptions, NoisyExecutor};
 pub use model::VqcModel;
 pub use train::{
-    evaluate, train, train_masked, train_spsa_masked, Env, SpsaConfig, TrainConfig,
-    TrainResult,
+    evaluate, train, train_masked, train_spsa_masked, Env, SpsaConfig, TrainConfig, TrainResult,
 };

@@ -80,7 +80,11 @@ pub fn predict(z_scores: &[f64]) -> usize {
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
     assert!(!predictions.is_empty(), "empty evaluation set");
-    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     hits as f64 / predictions.len() as f64
 }
 

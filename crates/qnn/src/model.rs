@@ -60,7 +60,10 @@ impl VqcModel {
         repeats: usize,
     ) -> Self {
         assert!(n_qubits >= 2, "model needs at least two qubits");
-        assert!(n_classes >= 1 && n_classes <= n_qubits, "one readout qubit per class");
+        assert!(
+            n_classes >= 1 && n_classes <= n_qubits,
+            "one readout qubit per class"
+        );
         assert!(repeats >= 1, "at least one block repeat");
 
         let mut circuit = Circuit::new(n_qubits);
@@ -240,8 +243,7 @@ mod tests {
             .iter()
             .filter(|o| o.kind == GateKind::Cry)
             .collect();
-        let pairs: Vec<(usize, usize)> =
-            crys.iter().map(|o| (o.qubits[0], o.qubits[1])).collect();
+        let pairs: Vec<(usize, usize)> = crys.iter().map(|o| (o.qubits[0], o.qubits[1])).collect();
         assert_eq!(pairs, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
     }
 

@@ -57,7 +57,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 20, batch_size: 16, lr: 0.08, seed: 0, grad_step: 1e-3 }
+        TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            lr: 0.08,
+            seed: 0,
+            grad_step: 1e-3,
+        }
     }
 }
 
@@ -74,12 +80,7 @@ pub struct TrainResult {
 }
 
 /// Mean cross-entropy of a batch.
-pub fn batch_loss(
-    model: &VqcModel,
-    env: Env<'_>,
-    batch: &[&Sample],
-    weights: &[f64],
-) -> f64 {
+pub fn batch_loss(model: &VqcModel, env: Env<'_>, batch: &[&Sample], weights: &[f64]) -> f64 {
     assert!(!batch.is_empty(), "empty batch");
     batch
         .iter()
@@ -133,7 +134,11 @@ pub fn train_masked(
     trainable: &[bool],
 ) -> TrainResult {
     assert!(!train_set.is_empty(), "empty training set");
-    assert_eq!(init_weights.len(), model.n_weights(), "weight count mismatch");
+    assert_eq!(
+        init_weights.len(),
+        model.n_weights(),
+        "weight count mismatch"
+    );
     assert_eq!(trainable.len(), init_weights.len(), "mask length mismatch");
 
     let mut weights = init_weights.to_vec();
@@ -174,7 +179,11 @@ pub fn train_masked(
         loss_history.push(epoch_loss / n_batches.max(1) as f64);
     }
 
-    TrainResult { weights, loss_history, n_evals }
+    TrainResult {
+        weights,
+        loss_history,
+        n_evals,
+    }
 }
 
 /// SPSA (simultaneous-perturbation stochastic approximation)
@@ -201,7 +210,13 @@ pub struct SpsaConfig {
 
 impl Default for SpsaConfig {
     fn default() -> Self {
-        SpsaConfig { steps: 60, batch_size: 12, lr: 0.12, perturbation: 0.15, seed: 0 }
+        SpsaConfig {
+            steps: 60,
+            batch_size: 12,
+            lr: 0.12,
+            perturbation: 0.15,
+            seed: 0,
+        }
     }
 }
 
@@ -220,7 +235,11 @@ pub fn train_spsa_masked(
     trainable: &[bool],
 ) -> TrainResult {
     assert!(!train_set.is_empty(), "empty training set");
-    assert_eq!(init_weights.len(), model.n_weights(), "weight count mismatch");
+    assert_eq!(
+        init_weights.len(),
+        model.n_weights(),
+        "weight count mismatch"
+    );
     assert_eq!(trainable.len(), init_weights.len(), "mask length mismatch");
 
     let mut weights = init_weights.to_vec();
@@ -244,7 +263,17 @@ pub fn train_spsa_masked(
         // Rademacher direction on trainable coordinates.
         let delta: Vec<f64> = trainable
             .iter()
-            .map(|&t| if t { if rng.gen::<bool>() { 1.0 } else { -1.0 } } else { 0.0 })
+            .map(|&t| {
+                if t {
+                    if rng.gen::<bool>() {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
         let shifted = |sign: f64, w: &[f64]| -> Vec<f64> {
@@ -268,7 +297,11 @@ pub fn train_spsa_masked(
         }
     }
 
-    TrainResult { weights, loss_history, n_evals }
+    TrainResult {
+        weights,
+        loss_history,
+        n_evals,
+    }
 }
 
 #[cfg(test)]
@@ -279,7 +312,13 @@ mod tests {
     use calibration::topology::Topology;
 
     fn quick_config() -> TrainConfig {
-        TrainConfig { epochs: 6, batch_size: 8, lr: 0.15, seed: 1, grad_step: 1e-3 }
+        TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.15,
+            seed: 1,
+            grad_step: 1e-3,
+        }
     }
 
     #[test]
@@ -308,7 +347,10 @@ mod tests {
         for t in trainable.iter_mut().step_by(2) {
             *t = false;
         }
-        let cfg = TrainConfig { epochs: 2, ..quick_config() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..quick_config()
+        };
         let result = train_masked(&model, &data.train, Env::Pure, &cfg, &init, &trainable);
         for i in 0..model.n_weights() {
             if !trainable[i] {
@@ -331,8 +373,15 @@ mod tests {
         let topo = Topology::ibm_belem();
         let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
         let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 8e-3, 0.02);
-        let env = Env::Noisy { exec: &exec, snapshot: &snap };
-        let cfg = TrainConfig { epochs: 1, batch_size: 8, ..quick_config() };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: &snap,
+        };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..quick_config()
+        };
         let init = model.init_weights(9);
         let result = train(&model, &data.train, env, &cfg, &init);
         // 1 epoch × 2 batches × (8 + 2·n_weights·8) evals.
@@ -347,7 +396,10 @@ mod tests {
         let data = Dataset::iris(3).truncated(16, 8);
         let model = VqcModel::paper_model(4, 3, 4, 1);
         let init = model.init_weights(2);
-        let cfg = TrainConfig { epochs: 1, ..quick_config() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            ..quick_config()
+        };
         let a = train(&model, &data.train, Env::Pure, &cfg, &init);
         let b = train(&model, &data.train, Env::Pure, &cfg, &init);
         assert_eq!(a, b);
@@ -360,9 +412,17 @@ mod tests {
         let topo = Topology::ibm_belem();
         let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
         let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 8e-3, 0.02);
-        let env = Env::Noisy { exec: &exec, snapshot: &snap };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: &snap,
+        };
         let init = model.init_weights(3);
-        let cfg = SpsaConfig { steps: 40, batch_size: 10, seed: 4, ..SpsaConfig::default() };
+        let cfg = SpsaConfig {
+            steps: 40,
+            batch_size: 10,
+            seed: 4,
+            ..SpsaConfig::default()
+        };
         let trainable = vec![true; model.n_weights()];
         let result = train_spsa_masked(&model, &data.train, env, &cfg, &init, &trainable);
         // Cost: exactly 2 evals per batch sample per step.
@@ -383,7 +443,12 @@ mod tests {
         let mut trainable = vec![true; model.n_weights()];
         trainable[0] = false;
         trainable[5] = false;
-        let cfg = SpsaConfig { steps: 5, batch_size: 4, seed: 1, ..SpsaConfig::default() };
+        let cfg = SpsaConfig {
+            steps: 5,
+            batch_size: 4,
+            seed: 1,
+            ..SpsaConfig::default()
+        };
         let r = train_spsa_masked(&model, &data.train, Env::Pure, &cfg, &init, &trainable);
         assert_eq!(r.weights[0], init[0]);
         assert_eq!(r.weights[5], init[5]);

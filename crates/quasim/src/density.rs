@@ -40,11 +40,15 @@ impl DensityMatrix {
     ///
     /// Panics if `n_qubits` is 0 or greater than 12 (dense ρ would be huge).
     pub fn zero_state(n_qubits: usize) -> Self {
-        assert!(n_qubits >= 1 && n_qubits <= 12, "unsupported qubit count");
+        assert!((1..=12).contains(&n_qubits), "unsupported qubit count");
         let dim = 1usize << n_qubits;
         let mut data = vec![Complex64::ZERO; dim * dim];
         data[0] = Complex64::ONE;
-        DensityMatrix { n_qubits, dim, data }
+        DensityMatrix {
+            n_qubits,
+            dim,
+            data,
+        }
     }
 
     /// Creates `|ψ⟩⟨ψ|` from a pure state.
@@ -58,7 +62,11 @@ impl DensityMatrix {
                 data[i * dim + j] = amps[i] * amps[j].conj();
             }
         }
-        DensityMatrix { n_qubits, dim, data }
+        DensityMatrix {
+            n_qubits,
+            dim,
+            data,
+        }
     }
 
     /// The maximally mixed state `I / 2^n`.
@@ -274,9 +282,9 @@ impl DensityMatrix {
                     tr += self.data[irows[k] * dim + jcols[k]];
                 }
                 let mix = tr.scale(0.25 * l);
-                for r in 0..4 {
-                    for c in 0..4 {
-                        let idx = irows[r] * dim + jcols[c];
+                for (r, &row) in irows.iter().enumerate() {
+                    for (c, &col) in jcols.iter().enumerate() {
+                        let idx = row * dim + col;
                         let mut v = self.data[idx].scale(keep);
                         if r == c {
                             v += mix;
@@ -290,7 +298,9 @@ impl DensityMatrix {
 
     /// Diagonal of `ρ` as a classical probability distribution.
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim).map(|i| self.data[i * self.dim + i].re).collect()
+        (0..self.dim)
+            .map(|i| self.data[i * self.dim + i].re)
+            .collect()
     }
 
     /// Probabilities after pushing through per-qubit readout errors.
@@ -577,7 +587,10 @@ mod tests {
 
     #[test]
     fn noise_reduces_fidelity_monotonically() {
-        let gates = [g1(GateKind::H, 0, 0.0), BoundGate::two(GateKind::Cx, 0, 1, 0.0)];
+        let gates = [
+            g1(GateKind::H, 0, 0.0),
+            BoundGate::two(GateKind::Cx, 0, 1, 0.0),
+        ];
         let ideal = run_circuit(2, &gates);
         let mut last_fid = 1.1;
         for lambda in [0.0, 0.05, 0.2, 0.5] {

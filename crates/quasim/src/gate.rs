@@ -148,7 +148,12 @@ impl GateKind {
             }
             GateKind::S => CMatrix::from_slice(
                 2,
-                &[Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::I],
+                &[
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::I,
+                ],
             ),
             GateKind::T => CMatrix::from_slice(
                 2,
@@ -165,10 +170,9 @@ impl GateKind {
                 CMatrix::from_slice(2, &[a, b, b, a])
             }
             GateKind::Rx => CMatrix::from_slice(2, &[c, isin, isin, c]),
-            GateKind::Ry => CMatrix::from_slice(
-                2,
-                &[c, Complex64::real(-s), Complex64::real(s), c],
-            ),
+            GateKind::Ry => {
+                CMatrix::from_slice(2, &[c, Complex64::real(-s), Complex64::real(s), c])
+            }
             GateKind::Rz => CMatrix::from_slice(
                 2,
                 &[
@@ -267,7 +271,11 @@ impl BoundGate {
     /// Panics if `kind` is a two-qubit gate.
     pub fn one(kind: GateKind, qubit: usize, theta: f64) -> Self {
         assert_eq!(kind.arity(), 1, "{kind} is not a one-qubit gate");
-        BoundGate { kind, qubits: vec![qubit], theta }
+        BoundGate {
+            kind,
+            qubits: vec![qubit],
+            theta,
+        }
     }
 
     /// Creates a two-qubit bound gate. For controlled gates `a` is the
@@ -279,7 +287,11 @@ impl BoundGate {
     pub fn two(kind: GateKind, a: usize, b: usize, theta: f64) -> Self {
         assert_eq!(kind.arity(), 2, "{kind} is not a two-qubit gate");
         assert_ne!(a, b, "two-qubit gate requires distinct qubits");
-        BoundGate { kind, qubits: vec![a, b], theta }
+        BoundGate {
+            kind,
+            qubits: vec![a, b],
+            theta,
+        }
     }
 
     /// The gate kind.

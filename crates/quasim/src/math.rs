@@ -51,13 +51,19 @@ impl Complex64 {
     /// Creates `exp(i * phi)` on the unit circle.
     #[inline]
     pub fn cis(phi: f64) -> Self {
-        Complex64 { re: phi.cos(), im: phi.sin() }
+        Complex64 {
+            re: phi.cos(),
+            im: phi.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|^2`, cheaper than [`Complex64::abs`].
@@ -75,7 +81,10 @@ impl Complex64 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Returns `true` when both parts are within `tol` of `other`.
@@ -105,7 +114,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -121,7 +133,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -175,7 +190,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -201,7 +219,10 @@ pub struct CMatrix {
 impl CMatrix {
     /// Creates a `dim × dim` zero matrix.
     pub fn zeros(dim: usize) -> Self {
-        CMatrix { dim, data: vec![Complex64::ZERO; dim * dim] }
+        CMatrix {
+            dim,
+            data: vec![Complex64::ZERO; dim * dim],
+        }
     }
 
     /// Creates the `dim × dim` identity matrix.
@@ -220,7 +241,10 @@ impl CMatrix {
     /// Panics if `entries.len() != dim * dim`.
     pub fn from_slice(dim: usize, entries: &[Complex64]) -> Self {
         assert_eq!(entries.len(), dim * dim, "entry count must be dim^2");
-        CMatrix { dim, data: entries.to_vec() }
+        CMatrix {
+            dim,
+            data: entries.to_vec(),
+        }
     }
 
     /// Creates a matrix from a row-major slice of real entries.
@@ -306,7 +330,10 @@ impl CMatrix {
 
     /// Scales every entry by a complex factor.
     pub fn scaled(&self, s: Complex64) -> CMatrix {
-        CMatrix { dim: self.dim, data: self.data.iter().map(|&z| z * s).collect() }
+        CMatrix {
+            dim: self.dim,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
     }
 
     /// Entrywise sum.
@@ -329,7 +356,9 @@ impl CMatrix {
 
     /// Trace `Σ_i A[i,i]`.
     pub fn trace(&self) -> Complex64 {
-        (0..self.dim).map(|i| self[(i, i)]).fold(Complex64::ZERO, |a, b| a + b)
+        (0..self.dim)
+            .map(|i| self[(i, i)])
+            .fold(Complex64::ZERO, |a, b| a + b)
     }
 
     /// Checks `A† A = I` within tolerance `tol`.

@@ -34,18 +34,27 @@ impl KrausChannel {
     pub fn from_kraus(ops: Vec<CMatrix>) -> Self {
         assert!(!ops.is_empty(), "channel needs at least one Kraus operator");
         let dim = ops[0].dim();
-        assert!(dim == 2 || dim == 4, "only 1- and 2-qubit channels supported");
+        assert!(
+            dim == 2 || dim == 4,
+            "only 1- and 2-qubit channels supported"
+        );
         assert!(ops.iter().all(|k| k.dim() == dim), "mixed Kraus dimensions");
         let arity = if dim == 2 { 1 } else { 2 };
         let ch = KrausChannel { ops, arity };
-        assert!(ch.is_trace_preserving(1e-9), "Kraus completeness relation violated");
+        assert!(
+            ch.is_trace_preserving(1e-9),
+            "Kraus completeness relation violated"
+        );
         ch
     }
 
     /// The identity (no-op) channel on `arity` qubits.
     pub fn identity(arity: usize) -> Self {
         let dim = 1usize << arity;
-        KrausChannel { ops: vec![CMatrix::identity(dim)], arity }
+        KrausChannel {
+            ops: vec![CMatrix::identity(dim)],
+            arity,
+        }
     }
 
     /// One-qubit depolarising channel
@@ -111,8 +120,7 @@ impl KrausChannel {
         KrausChannel {
             ops: vec![
                 CMatrix::identity(2).scaled(Complex64::real((1.0 - p).sqrt())),
-                CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0])
-                    .scaled(Complex64::real(p.sqrt())),
+                CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]).scaled(Complex64::real(p.sqrt())),
             ],
             arity: 1,
         }
@@ -124,8 +132,7 @@ impl KrausChannel {
         KrausChannel {
             ops: vec![
                 CMatrix::identity(2).scaled(Complex64::real((1.0 - p).sqrt())),
-                CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0])
-                    .scaled(Complex64::real(p.sqrt())),
+                CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0]).scaled(Complex64::real(p.sqrt())),
             ],
             arity: 1,
         }
@@ -137,7 +144,10 @@ impl KrausChannel {
         let g = gamma.clamp(0.0, 1.0);
         let k0 = CMatrix::from_real(2, &[1.0, 0.0, 0.0, (1.0 - g).sqrt()]);
         let k1 = CMatrix::from_real(2, &[0.0, g.sqrt(), 0.0, 0.0]);
-        KrausChannel { ops: vec![k0, k1], arity: 1 }
+        KrausChannel {
+            ops: vec![k0, k1],
+            arity: 1,
+        }
     }
 
     /// Number of qubits the channel acts on (1 or 2).
@@ -331,8 +341,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "completeness")]
     fn from_kraus_rejects_non_tp() {
-        let _ = KrausChannel::from_kraus(vec![CMatrix::identity(2).scaled(
-            Complex64::real(0.5),
-        )]);
+        let _ = KrausChannel::from_kraus(vec![CMatrix::identity(2).scaled(Complex64::real(0.5))]);
     }
 }

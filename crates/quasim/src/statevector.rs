@@ -38,7 +38,7 @@ impl StateVector {
     /// Panics if `n_qubits == 0` or `n_qubits > 24` (sizes beyond any use in
     /// this workspace).
     pub fn zero_state(n_qubits: usize) -> Self {
-        assert!(n_qubits >= 1 && n_qubits <= 24, "unsupported qubit count");
+        assert!((1..=24).contains(&n_qubits), "unsupported qubit count");
         let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
         amps[0] = Complex64::ONE;
         StateVector { n_qubits, amps }
@@ -52,10 +52,19 @@ impl StateVector {
     /// normalised within `1e-9`.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
         let len = amps.len();
-        assert!(len >= 2 && len.is_power_of_two(), "length must be a power of two");
+        assert!(
+            len >= 2 && len.is_power_of_two(),
+            "length must be a power of two"
+        );
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
-        assert!((norm - 1.0).abs() < 1e-9, "state must be normalised (got {norm})");
-        StateVector { n_qubits: len.trailing_zeros() as usize, amps }
+        assert!(
+            (norm - 1.0).abs() < 1e-9,
+            "state must be normalised (got {norm})"
+        );
+        StateVector {
+            n_qubits: len.trailing_zeros() as usize,
+            amps,
+        }
     }
 
     /// Number of qubits.
@@ -249,7 +258,10 @@ mod tests {
     fn bell_state_correlations() {
         let sv = run_circuit(
             2,
-            &[g1(GateKind::H, 0, 0.0), BoundGate::two(GateKind::Cx, 0, 1, 0.0)],
+            &[
+                g1(GateKind::H, 0, 0.0),
+                BoundGate::two(GateKind::Cx, 0, 1, 0.0),
+            ],
         );
         let probs = sv.probabilities();
         assert!((probs[0] - 0.5).abs() < 1e-12); // |00>
@@ -263,7 +275,10 @@ mod tests {
         // X on qubit 1, then CX with control=1, target=0 → both set.
         let sv = run_circuit(
             2,
-            &[g1(GateKind::X, 1, 0.0), BoundGate::two(GateKind::Cx, 1, 0, 0.0)],
+            &[
+                g1(GateKind::X, 1, 0.0),
+                BoundGate::two(GateKind::Cx, 1, 0, 0.0),
+            ],
         );
         assert!((sv.prob_one(0) - 1.0).abs() < 1e-12);
         assert!((sv.prob_one(1) - 1.0).abs() < 1e-12);
@@ -277,7 +292,10 @@ mod tests {
 
         let active = run_circuit(
             2,
-            &[g1(GateKind::X, 0, 0.0), BoundGate::two(GateKind::Cry, 0, 1, theta)],
+            &[
+                g1(GateKind::X, 0, 0.0),
+                BoundGate::two(GateKind::Cry, 0, 1, theta),
+            ],
         );
         assert!((active.expect_z(1) - theta.cos()).abs() < 1e-12);
     }
@@ -286,7 +304,10 @@ mod tests {
     fn swap_exchanges_amplitudes() {
         let sv = run_circuit(
             2,
-            &[g1(GateKind::X, 0, 0.0), BoundGate::two(GateKind::Swap, 0, 1, 0.0)],
+            &[
+                g1(GateKind::X, 0, 0.0),
+                BoundGate::two(GateKind::Swap, 0, 1, 0.0),
+            ],
         );
         assert!(sv.prob_one(0).abs() < 1e-12);
         assert!((sv.prob_one(1) - 1.0).abs() < 1e-12);

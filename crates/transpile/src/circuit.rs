@@ -107,7 +107,11 @@ impl Circuit {
     /// Panics if `n_qubits == 0`.
     pub fn new(n_qubits: usize) -> Self {
         assert!(n_qubits > 0, "circuit needs at least one qubit");
-        Circuit { n_qubits, ops: Vec::new(), n_params: 0 }
+        Circuit {
+            n_qubits,
+            ops: Vec::new(),
+            n_params: 0,
+        }
     }
 
     /// Number of logical qubits.
@@ -165,55 +169,91 @@ impl Circuit {
 
     /// Appends an `RX(θ)` on `q`.
     pub fn rx(&mut self, q: usize, p: Param) -> &mut Self {
-        self.push(Op { kind: GateKind::Rx, qubits: vec![q], param: Some(p) });
+        self.push(Op {
+            kind: GateKind::Rx,
+            qubits: vec![q],
+            param: Some(p),
+        });
         self
     }
 
     /// Appends an `RY(θ)` on `q`.
     pub fn ry(&mut self, q: usize, p: Param) -> &mut Self {
-        self.push(Op { kind: GateKind::Ry, qubits: vec![q], param: Some(p) });
+        self.push(Op {
+            kind: GateKind::Ry,
+            qubits: vec![q],
+            param: Some(p),
+        });
         self
     }
 
     /// Appends an `RZ(θ)` on `q`.
     pub fn rz(&mut self, q: usize, p: Param) -> &mut Self {
-        self.push(Op { kind: GateKind::Rz, qubits: vec![q], param: Some(p) });
+        self.push(Op {
+            kind: GateKind::Rz,
+            qubits: vec![q],
+            param: Some(p),
+        });
         self
     }
 
     /// Appends a Hadamard on `q`.
     pub fn h(&mut self, q: usize) -> &mut Self {
-        self.push(Op { kind: GateKind::H, qubits: vec![q], param: None });
+        self.push(Op {
+            kind: GateKind::H,
+            qubits: vec![q],
+            param: None,
+        });
         self
     }
 
     /// Appends a Pauli-X on `q`.
     pub fn x(&mut self, q: usize) -> &mut Self {
-        self.push(Op { kind: GateKind::X, qubits: vec![q], param: None });
+        self.push(Op {
+            kind: GateKind::X,
+            qubits: vec![q],
+            param: None,
+        });
         self
     }
 
     /// Appends a CNOT with control `c` and target `t`.
     pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
-        self.push(Op { kind: GateKind::Cx, qubits: vec![c, t], param: None });
+        self.push(Op {
+            kind: GateKind::Cx,
+            qubits: vec![c, t],
+            param: None,
+        });
         self
     }
 
     /// Appends a controlled `RX(θ)`.
     pub fn crx(&mut self, c: usize, t: usize, p: Param) -> &mut Self {
-        self.push(Op { kind: GateKind::Crx, qubits: vec![c, t], param: Some(p) });
+        self.push(Op {
+            kind: GateKind::Crx,
+            qubits: vec![c, t],
+            param: Some(p),
+        });
         self
     }
 
     /// Appends a controlled `RY(θ)`.
     pub fn cry(&mut self, c: usize, t: usize, p: Param) -> &mut Self {
-        self.push(Op { kind: GateKind::Cry, qubits: vec![c, t], param: Some(p) });
+        self.push(Op {
+            kind: GateKind::Cry,
+            qubits: vec![c, t],
+            param: Some(p),
+        });
         self
     }
 
     /// Appends a controlled `RZ(θ)`.
     pub fn crz(&mut self, c: usize, t: usize, p: Param) -> &mut Self {
-        self.push(Op { kind: GateKind::Crz, qubits: vec![c, t], param: Some(p) });
+        self.push(Op {
+            kind: GateKind::Crz,
+            qubits: vec![c, t],
+            param: Some(p),
+        });
         self
     }
 
@@ -267,7 +307,11 @@ impl Circuit {
             })
             .cloned()
             .collect();
-        Circuit { n_qubits: self.n_qubits, ops, n_params: self.n_params }
+        Circuit {
+            n_qubits: self.n_qubits,
+            ops,
+            n_params: self.n_params,
+        }
     }
 
     /// Indices of ops that reference trainable parameter `i`.
@@ -288,7 +332,9 @@ mod tests {
     #[test]
     fn builder_tracks_param_count() {
         let mut c = Circuit::new(3);
-        c.ry(0, Param::Idx(0)).cry(0, 1, Param::Idx(4)).rx(2, Param::Fixed(0.3));
+        c.ry(0, Param::Idx(0))
+            .cry(0, 1, Param::Idx(4))
+            .rx(2, Param::Fixed(0.3));
         assert_eq!(c.n_params(), 5);
         assert_eq!(c.len(), 3);
     }
@@ -305,7 +351,9 @@ mod tests {
     #[test]
     fn ops_for_param_finds_shared_params() {
         let mut c = Circuit::new(2);
-        c.ry(0, Param::Idx(0)).ry(1, Param::Idx(0)).rz(0, Param::Idx(1));
+        c.ry(0, Param::Idx(0))
+            .ry(1, Param::Idx(0))
+            .rz(0, Param::Idx(1));
         assert_eq!(c.ops_for_param(0), vec![0, 1]);
         assert_eq!(c.ops_for_param(1), vec![2]);
         assert!(c.ops_for_param(7).is_empty());

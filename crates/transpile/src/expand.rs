@@ -90,7 +90,10 @@ impl NativeCircuit {
     ///
     /// Panics if `logical` is out of range.
     pub fn measured_physical(&self, logical: usize) -> usize {
-        assert!(logical < self.final_layout.len(), "logical qubit out of range");
+        assert!(
+            logical < self.final_layout.len(),
+            "logical qubit out of range"
+        );
         self.final_layout[logical]
     }
 
@@ -399,10 +402,8 @@ mod tests {
         let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1e-2, 0.02);
         let generic = [0.4, 1.3, 0.8, 2.1, 0.9, 1.7, 0.6];
         let compressed = [0.0, PI, 0.8, FRAC_PI_2, 0.0, 1.7, 0.0];
-        let e_gen =
-            expand(&phys, &generic).estimated_error(&snap, &topo, &[0, 1, 2, 3]);
-        let e_cmp =
-            expand(&phys, &compressed).estimated_error(&snap, &topo, &[0, 1, 2, 3]);
+        let e_gen = expand(&phys, &generic).estimated_error(&snap, &topo, &[0, 1, 2, 3]);
+        let e_cmp = expand(&phys, &compressed).estimated_error(&snap, &topo, &[0, 1, 2, 3]);
         assert!(e_cmp < e_gen, "compression must lower accumulated error");
     }
 

@@ -67,13 +67,19 @@ impl PhysicalCircuit {
     ///
     /// Panics if `logical` exceeds the logical register size.
     pub fn measured_physical(&self, logical: usize) -> usize {
-        assert!(logical < self.final_layout.len(), "logical qubit out of range");
+        assert!(
+            logical < self.final_layout.len(),
+            "logical qubit out of range"
+        );
         self.final_layout[logical]
     }
 
     /// Number of inserted SWAP gates.
     pub fn swap_count(&self) -> usize {
-        self.ops.iter().filter(|op| op.kind == GateKind::Swap).count()
+        self.ops
+            .iter()
+            .filter(|op| op.kind == GateKind::Swap)
+            .count()
     }
 
     /// Physical-qubit association of every op referencing trainable
@@ -143,7 +149,11 @@ pub fn route(
     for op in circuit.ops() {
         match op.qubits.as_slice() {
             [q] => {
-                ops.push(Op { kind: op.kind, qubits: vec![layout[*q]], param: op.param });
+                ops.push(Op {
+                    kind: op.kind,
+                    qubits: vec![layout[*q]],
+                    param: op.param,
+                });
             }
             [a, b] => {
                 let mut pa = layout[*a];
@@ -173,7 +183,11 @@ pub fn route(
                     }
                     pa = next;
                 }
-                ops.push(Op { kind: op.kind, qubits: vec![pa, pb], param: op.param });
+                ops.push(Op {
+                    kind: op.kind,
+                    qubits: vec![pa, pb],
+                    param: op.param,
+                });
             }
             _ => unreachable!("ops always have 1 or 2 qubits"),
         }
@@ -225,7 +239,11 @@ pub fn with_fixed_params(phys: &PhysicalCircuit, overrides: &[Option<f64>]) -> P
                 },
                 other => other,
             };
-            Op { kind: op.kind, qubits: op.qubits.clone(), param }
+            Op {
+                kind: op.kind,
+                qubits: op.qubits.clone(),
+                param,
+            }
         })
         .collect();
     PhysicalCircuit {

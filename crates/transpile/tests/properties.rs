@@ -6,8 +6,8 @@
 //! topologies — and simplification at identity angles never changes
 //! semantics while never lengthening the physical circuit.
 
-use proptest::prelude::*;
 use calibration::topology::Topology;
+use proptest::prelude::*;
 use quasim::statevector::StateVector;
 use transpile::circuit::{Circuit, Param};
 use transpile::expand::expand;

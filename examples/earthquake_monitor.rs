@@ -20,18 +20,23 @@ use qucad::framework::{OnlineDecision, Qucad, QucadConfig};
 
 fn main() {
     let topo = Topology::ibm_belem();
-    let history =
-        FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(90, 11), 60);
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(90, 11), 60);
     let data = Dataset::seismic(96, 48, 11);
     let model = VqcModel::paper_model(4, 2, 4, 2);
-    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 11) };
+    let noise = NoiseOptions {
+        scale: 3.0,
+        ..NoiseOptions::with_shots(1024, 11)
+    };
 
     println!("training the detector noise-free ...");
     let base = train(
         &model,
         &data.train,
         Env::Pure,
-        &TrainConfig { epochs: 10, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
         &model.init_weights(3),
     );
 
@@ -64,7 +69,10 @@ fn main() {
     let exec = qucad.executor().clone();
     for snap in history.online() {
         let (weights, decision, cost) = qucad.online_day(snap);
-        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: snap,
+        };
         let acc = evaluate(&model, env, &data.test, &weights);
         let what = match &decision {
             OnlineDecision::Reused { index, distance } => {
@@ -73,7 +81,9 @@ fn main() {
             OnlineDecision::Compressed { index } => {
                 format!("NEW compression -> entry {index} ({cost} evals)")
             }
-            OnlineDecision::Failure { predicted_accuracy, .. } => {
+            OnlineDecision::Failure {
+                predicted_accuracy, ..
+            } => {
                 format!(
                     "FAILURE REPORT: predicted accuracy {predicted_accuracy:.2} \
                      below requirement"

@@ -27,18 +27,23 @@ fn sparkline(series: &[f64]) -> String {
 
 fn main() {
     let topo = Topology::ibm_belem();
-    let history =
-        FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(75, 21), 45);
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(75, 21), 45);
     let data = Dataset::mnist4(96, 48, 21);
     let model = VqcModel::paper_model(4, 4, 16, 2);
-    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 21) };
+    let noise = NoiseOptions {
+        scale: 3.0,
+        ..NoiseOptions::with_shots(1024, 21)
+    };
 
     println!("training base model ...");
     let base = train(
         &model,
         &data.train,
         Env::Pure,
-        &TrainConfig { epochs: 10, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
         &model.init_weights(2),
     );
 
@@ -46,27 +51,47 @@ fn main() {
     let online = history.online();
 
     println!("noise-aware training on day {} only ...", online[0].day);
-    let env1 = Env::Noisy { exec: &exec, snapshot: &online[0] };
+    let env1 = Env::Noisy {
+        exec: &exec,
+        snapshot: &online[0],
+    };
     let nat = train_spsa_masked(
         &model,
         &data.train,
         env1,
-        &SpsaConfig { steps: 40, ..SpsaConfig::default() },
+        &SpsaConfig {
+            steps: 40,
+            ..SpsaConfig::default()
+        },
         &base.weights,
         &vec![true; model.n_weights()],
     );
 
     println!("building QuCAD ...");
-    let config = QucadConfig { k: 4, max_offline_evals: 20, eval_samples: 32, ..QucadConfig::default() };
+    let config = QucadConfig {
+        k: 4,
+        max_offline_evals: 20,
+        eval_samples: 32,
+        ..QucadConfig::default()
+    };
     let (mut qucad, _) = Qucad::build_offline(
-        &model, &topo, noise, history.offline(), &data.train, &data.test,
-        &base.weights, &config,
+        &model,
+        &topo,
+        noise,
+        history.offline(),
+        &data.train,
+        &data.test,
+        &base.weights,
+        &config,
     );
 
     let mut nat_series = Vec::new();
     let mut qucad_series = Vec::new();
     for snap in online {
-        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: snap,
+        };
         nat_series.push(evaluate(&model, env, &data.test, &nat.weights));
         let (wq, _, _) = qucad.online_day(snap);
         qucad_series.push(evaluate(&model, env, &data.test, &wq));

@@ -17,10 +17,17 @@ fn main() {
     // 1. A dataset and the paper's VQC model (4 qubits, 3 classes, Iris).
     let data = Dataset::iris(7);
     let model = VqcModel::paper_model(4, 3, 4, 2);
-    println!("model: {} qubits, {} weights", model.n_qubits(), model.n_weights());
+    println!(
+        "model: {} qubits, {} weights",
+        model.n_qubits(),
+        model.n_weights()
+    );
 
     // 2. Train noise-free.
-    let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 10,
+        ..TrainConfig::default()
+    };
     let base = train(&model, &data.train, Env::Pure, &cfg, &model.init_weights(1));
     let clean_acc = evaluate(&model, Env::Pure, &data.test, &base.weights);
     println!("noise-free test accuracy: {clean_acc:.3}");
@@ -30,10 +37,16 @@ fn main() {
     let exec = NoisyExecutor::new(
         &model,
         &topo,
-        NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 7) },
+        NoiseOptions {
+            scale: 3.0,
+            ..NoiseOptions::with_shots(1024, 7)
+        },
     );
     let bad_day = CalibrationSnapshot::uniform(&topo, 0, 1e-3, 3.5e-2, 0.04);
-    let env = Env::Noisy { exec: &exec, snapshot: &bad_day };
+    let env = Env::Noisy {
+        exec: &exec,
+        snapshot: &bad_day,
+    };
     let noisy_acc = evaluate(&model, env, &data.test, &base.weights);
     println!("accuracy under today's noise: {noisy_acc:.3}");
 

@@ -18,27 +18,46 @@ use qucad::repository::MatchOutcome;
 
 fn main() {
     let topo = Topology::ibm_belem();
-    let history =
-        FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(70, 5), 50);
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(70, 5), 50);
     let data = Dataset::iris(5);
     let model = VqcModel::paper_model(4, 3, 4, 2);
-    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 5) };
+    let noise = NoiseOptions {
+        scale: 3.0,
+        ..NoiseOptions::with_shots(1024, 5)
+    };
 
     let base = train(
         &model,
         &data.train,
         Env::Pure,
-        &TrainConfig { epochs: 8, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
         &model.init_weights(9),
     );
 
-    let config = QucadConfig { k: 4, max_offline_evals: 20, eval_samples: 24, ..QucadConfig::default() };
+    let config = QucadConfig {
+        k: 4,
+        max_offline_evals: 20,
+        eval_samples: 24,
+        ..QucadConfig::default()
+    };
     let (qucad, stats) = Qucad::build_offline(
-        &model, &topo, noise, history.offline(), &data.train, &data.test,
-        &base.weights, &config,
+        &model,
+        &topo,
+        noise,
+        history.offline(),
+        &data.train,
+        &data.test,
+        &base.weights,
+        &config,
     );
 
-    println!("offline stage evaluated {} days; threshold th_w = {:.4}\n", stats.days_evaluated, stats.threshold);
+    println!(
+        "offline stage evaluated {} days; threshold th_w = {:.4}\n",
+        stats.days_evaluated, stats.threshold
+    );
 
     let table = CompressionTable::standard();
     println!("repository entries:");
@@ -54,8 +73,7 @@ fn main() {
             e.mean_accuracy.unwrap_or(f64::NAN),
             at_level,
             e.weights.len(),
-            CalibrationSnapshot::from_feature_vector(&topo, 0, &e.centroid)
-                .mean_cnot_error(),
+            CalibrationSnapshot::from_feature_vector(&topo, 0, &e.centroid).mean_cnot_error(),
         );
     }
 
@@ -63,13 +81,19 @@ fn main() {
     for snap in history.online().iter().take(10) {
         match qucad.repository().match_snapshot(snap) {
             MatchOutcome::Hit { index, distance } => {
-                println!("  day {:>3}: HIT entry {index} at distance {distance:.4}", snap.day)
+                println!(
+                    "  day {:>3}: HIT entry {index} at distance {distance:.4}",
+                    snap.day
+                )
             }
             MatchOutcome::Miss { nearest_distance } => println!(
                 "  day {:>3}: MISS (nearest {nearest_distance:.4} > th_w) — would compress",
                 snap.day
             ),
-            MatchOutcome::Invalid { index, predicted_accuracy } => println!(
+            MatchOutcome::Invalid {
+                index,
+                predicted_accuracy,
+            } => println!(
                 "  day {:>3}: INVALID entry {index} (predicted accuracy {predicted_accuracy:.2})",
                 snap.day
             ),

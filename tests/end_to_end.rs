@@ -10,9 +10,7 @@ use qnn::executor::{NoiseOptions, NoisyExecutor};
 use qnn::model::VqcModel;
 use qnn::train::{evaluate, train, Env, TrainConfig};
 use qucad::admm::{compress, AdmmConfig};
-use qucad::framework::{
-    run_method, Method, OnlineDecision, Qucad, QucadConfig, RunContext,
-};
+use qucad::framework::{run_method, Method, OnlineDecision, Qucad, QucadConfig, RunContext};
 use qucad::levels::CompressionTable;
 
 fn quick_admm() -> AdmmConfig {
@@ -42,13 +40,20 @@ fn full_pipeline_iris_on_belem() {
     let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(26, 3), 18);
     let data = Dataset::iris(3).truncated(32, 24);
     let model = VqcModel::paper_model(4, 3, 4, 1);
-    let noise = NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 3) };
+    let noise = NoiseOptions {
+        scale: 3.0,
+        ..NoiseOptions::with_shots(1024, 3)
+    };
 
     let base = train(
         &model,
         &data.train,
         Env::Pure,
-        &TrainConfig { epochs: 4, batch_size: 8, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..TrainConfig::default()
+        },
         &model.init_weights(1),
     );
     assert!(base.n_evals > 0);
@@ -68,7 +73,10 @@ fn full_pipeline_iris_on_belem() {
     let exec = qucad.executor().clone();
     for snap in history.online() {
         let (weights, _, _) = qucad.online_day(snap);
-        let env = Env::Noisy { exec: &exec, snapshot: snap };
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: snap,
+        };
         let acc = evaluate(&model, env, &data.test, &weights);
         assert!((0.0..=1.0).contains(&acc));
         assert_eq!(weights.len(), model.n_weights());
@@ -81,9 +89,18 @@ fn compression_reduces_length_on_every_dataset() {
     let topo = Topology::ibm_belem();
     let snap = CalibrationSnapshot::uniform(&topo, 0, 1e-3, 4e-2, 0.03);
     for (data, model) in [
-        (Dataset::mnist4(24, 8, 1), VqcModel::paper_model(4, 4, 16, 1)),
-        (Dataset::iris(1).truncated(24, 8), VqcModel::paper_model(4, 3, 4, 1)),
-        (Dataset::seismic(24, 8, 1), VqcModel::paper_model(4, 2, 4, 1)),
+        (
+            Dataset::mnist4(24, 8, 1),
+            VqcModel::paper_model(4, 4, 16, 1),
+        ),
+        (
+            Dataset::iris(1).truncated(24, 8),
+            VqcModel::paper_model(4, 3, 4, 1),
+        ),
+        (
+            Dataset::seismic(24, 8, 1),
+            VqcModel::paper_model(4, 2, 4, 1),
+        ),
     ] {
         let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
         let base = model.init_weights(5);
@@ -115,21 +132,32 @@ fn method_runner_produces_complete_records() {
         &model,
         &data.train,
         Env::Pure,
-        &TrainConfig { epochs: 3, batch_size: 8, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..TrainConfig::default()
+        },
         &model.init_weights(2),
     );
     let config = quick_qucad_config();
     let ctx = RunContext {
         model: &model,
         topology: &topo,
-        noise: NoiseOptions { scale: 3.0, ..NoiseOptions::with_shots(1024, 9) },
+        noise: NoiseOptions {
+            scale: 3.0,
+            ..NoiseOptions::with_shots(1024, 9)
+        },
         offline: history.offline(),
         online: history.online(),
         train_set: &data.train,
         test_set: &data.test,
         base_weights: &base.weights,
         config: &config,
-        nat_config: qnn::train::SpsaConfig { steps: 5, batch_size: 6, ..Default::default() },
+        nat_config: qnn::train::SpsaConfig {
+            steps: 5,
+            batch_size: 6,
+            ..Default::default()
+        },
     };
     for method in Method::table1() {
         let run = run_method(method, &ctx);

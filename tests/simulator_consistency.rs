@@ -58,7 +58,10 @@ fn circuit_length_monotone_in_compressed_weight_count() {
         lengths.push(exec.circuit_length(&features, &w));
     }
     for pair in lengths.windows(2) {
-        assert!(pair[1] <= pair[0], "length must shrink as more weights hit 0: {lengths:?}");
+        assert!(
+            pair[1] <= pair[0],
+            "length must shrink as more weights hit 0: {lengths:?}"
+        );
     }
 }
 
@@ -78,7 +81,10 @@ fn shot_noise_perturbs_but_preserves_scale() {
     let n = 200;
     let mut mean = vec![0.0; z_exact.len()];
     for _ in 0..n {
-        for (m, v) in mean.iter_mut().zip(shot.z_scores(&features, &weights, &snap)) {
+        for (m, v) in mean
+            .iter_mut()
+            .zip(shot.z_scores(&features, &weights, &snap))
+        {
             *m += v;
         }
     }

@@ -1,0 +1,224 @@
+//! Vendored, dependency-free stand-in for the parts of `criterion` that the
+//! QuCAD workspace's benches use.
+//!
+//! The build environment cannot reach crates.io, so this crate implements a
+//! small wall-clock harness with the same API shape: [`Criterion`],
+//! benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. There are no
+//! statistical reports or HTML output — each benchmark prints its median
+//! per-iteration time over a fixed number of samples.
+//!
+//! Filtering works like upstream's positional filter: `cargo bench -- expr`
+//! runs only benchmarks whose `group/function` id contains `expr`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target measuring time per sample; iteration counts auto-calibrate to it.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+
+/// Samples collected per benchmark (median is reported).
+const DEFAULT_SAMPLES: usize = 11;
+
+/// How the input of [`Bencher::iter_batched`] is batched. The stub times
+/// each routine call individually, so the variants are equivalent; they
+/// exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold many of.
+    SmallInput,
+    /// Setup output is large; batch less.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Benchmark driver (configuration + result sink).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free positional arg acts as a substring filter, mirroring
+        // `cargo bench -- <filter>`. Harness flags (--bench, --exact,
+        // --nocapture) are accepted and ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (a group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark; `f` drives the [`Bencher`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&full_id, &mut bencher.samples);
+        self
+    }
+
+    /// Ends the group (API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    /// Per-iteration times of each collected sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over auto-calibrated iteration batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with setup included (conservative: fewer iterations),
+        // then time only the routine.
+        let iters = {
+            let mut probe = || {
+                let input = setup();
+                std::hint::black_box(routine(input));
+            };
+            calibrate(&mut probe)
+        };
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples.push(total / iters);
+        }
+    }
+}
+
+/// Picks an iteration count so one sample takes roughly [`SAMPLE_TARGET`].
+fn calibrate<F: FnMut()>(mut f: F) -> u32 {
+    let mut iters: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_TARGET / 4 || iters >= 1 << 20 {
+            let per_iter = elapsed / iters;
+            let target = (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)) as u32;
+            return target.clamp(1, 1 << 22);
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration]) {
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "  {id}: median {} (min {}, max {}, {} samples)",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one registry function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the bench `main` for `harness = false` targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,173 @@
+//! Vendored, dependency-free stand-in for the parts of `proptest` that the
+//! QuCAD workspace's property tests use.
+//!
+//! The build environment cannot reach crates.io, so this crate implements a
+//! compatible subset: value-generating [`Strategy`] objects (no shrinking),
+//! the [`proptest!`] test macro, `prop_assert*` / `prop_assume!`, and the
+//! combinators the tests rely on (`prop_map`, `prop_filter_map`,
+//! [`prop_oneof!`], [`collection::vec`], [`Just`], [`any`]).
+//!
+//! Differences from upstream worth knowing:
+//!
+//! - **No shrinking.** A failing case reports its inputs via `Debug`-free
+//!   message text and the deterministic case index, which is enough to
+//!   reproduce (case seeds derive from the index alone).
+//! - **Deterministic by default.** Upstream starts from OS entropy;
+//!   here every run replays the same case sequence, which suits CI.
+//!   Set `PROPTEST_SEED` to explore a different sequence.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with formatted context) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (counted separately from failures) when its
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok($crate::test_runner::CaseOutcome::Discarded);
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while executed < config.cases {
+                if attempts >= config.cases.saturating_mul(16).max(1024) {
+                    panic!(
+                        "proptest '{}': too many discarded cases ({} executed of {})",
+                        ::std::stringify!($name), executed, config.cases,
+                    );
+                }
+                let mut rng = $crate::test_runner::case_rng(attempts as u64);
+                attempts += 1;
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let outcome: ::std::result::Result<
+                    $crate::test_runner::CaseOutcome,
+                    ::std::string::String,
+                > = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok($crate::test_runner::CaseOutcome::Ran)
+                })();
+                match outcome {
+                    ::std::result::Result::Ok($crate::test_runner::CaseOutcome::Ran) => {
+                        executed += 1;
+                    }
+                    ::std::result::Result::Ok(
+                        $crate::test_runner::CaseOutcome::Discarded,
+                    ) => {}
+                    ::std::result::Result::Err(message) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (re-run with this \
+                             index via PROPTEST_SEED semantics):\n{}",
+                            ::std::stringify!($name),
+                            attempts - 1,
+                            message,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

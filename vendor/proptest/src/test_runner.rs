@@ -1,0 +1,43 @@
+//! Case scheduling for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-discarded) cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// How one executed case ended (failures travel as `Err(message)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion.
+    Ran,
+    /// A `prop_assume!` precondition failed; the case does not count.
+    Discarded,
+}
+
+/// The RNG for one case. Deterministic: derived from the case index and the
+/// optional `PROPTEST_SEED` environment variable, so failures replay.
+pub fn case_rng(case_index: u64) -> StdRng {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x51C0_FFEE_D00D_2023);
+    StdRng::seed_from_u64(base ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
