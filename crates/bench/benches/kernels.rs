@@ -86,6 +86,93 @@ fn bench_density(c: &mut Criterion) {
         let features = vec![0.5; 16];
         b.iter(|| exec.z_scores(black_box(&features), &weights, &snap))
     });
+    g.bench_function("noisy_eval_mnist_model_belem_unfused", |b| {
+        // The op-by-op differential-testing reference, for comparison with
+        // the fused production path above.
+        let model = VqcModel::paper_model(4, 4, 16, 2);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1e-2, 0.02);
+        let weights = model.init_weights(1);
+        let features = vec![0.5; 16];
+        b.iter(|| exec.z_scores_seeded_unfused(black_box(&features), &weights, &snap, 0))
+    });
+    g.finish();
+}
+
+fn bench_fused(c: &mut Criterion) {
+    use quasim::density::SimWorkspace;
+    use transpile::fuse::{fuse_native, SimOp};
+
+    let mut g = c.benchmark_group("fused");
+    // A noisy CRY-ladder slice: the segment shapes the executor hot path
+    // produces (gate + channel pairs, same-wire rotation runs).
+    let mut circuit = Circuit::new(4);
+    for q in 0..4 {
+        circuit.ry(q, Param::Idx(q));
+    }
+    for q in 0..3 {
+        circuit.cry(q, q + 1, Param::Idx(4 + q));
+    }
+    let theta: Vec<f64> = (0..7).map(|i| 0.4 + 0.3 * i as f64).collect();
+    let topo = Topology::ibm_belem();
+    let phys = route_identity(&circuit, &topo);
+    let native = expand(&phys, &theta);
+    let noise = |op: &transpile::expand::NativeOp| -> Option<f64> {
+        if op.is_entangler() {
+            Some(0.01)
+        } else if op.pulses > 0 {
+            Some(0.001)
+        } else {
+            None
+        }
+    };
+
+    g.bench_function("compile_native_to_program", |b| {
+        b.iter(|| fuse_native(black_box(&native), noise))
+    });
+
+    let program = fuse_native(&native, noise);
+    g.bench_function("run_program_reused_workspace", |b| {
+        let mut ws = SimWorkspace::new();
+        b.iter(|| {
+            ws.reset_zero(program.n_qubits());
+            ws.run(black_box(&program));
+            ws.prob_one(0)
+        })
+    });
+
+    // Same ops, one segment per op (no fusion): quantifies the pass win.
+    let mut single_ops = Vec::new();
+    for op in native.ops() {
+        single_ops.push(SimOp::Gate(op.gate.clone()));
+        if let Some(l) = noise(op) {
+            let q = op.gate.qubits();
+            match q.len() {
+                1 => single_ops.push(SimOp::Depolarize1 { q: q[0], lambda: l }),
+                _ => single_ops.push(SimOp::Depolarize2 {
+                    a: q[0],
+                    b: q[1],
+                    lambda: l,
+                }),
+            }
+        }
+    }
+    g.bench_function("run_op_by_op_density_matrix", |b| {
+        b.iter(|| {
+            let mut rho = DensityMatrix::zero_state(topo.n_qubits());
+            for op in &single_ops {
+                match op {
+                    SimOp::Gate(gate) => rho.apply_gate(black_box(gate)),
+                    SimOp::Depolarize1 { q, lambda } => rho.apply_depolarizing_1q(*lambda, *q),
+                    SimOp::Depolarize2 { a, b, lambda } => {
+                        rho.apply_depolarizing_2q(*lambda, *a, *b)
+                    }
+                }
+            }
+            rho.prob_one(0)
+        })
+    });
     g.finish();
 }
 
@@ -181,6 +268,7 @@ criterion_group!(
     benches,
     bench_statevector,
     bench_density,
+    bench_fused,
     bench_transpile,
     bench_framework,
     bench_parallel_eval

@@ -1,0 +1,198 @@
+//! Performance harness for the hot evaluation path, wired into CI as a
+//! regression gate.
+//!
+//! Times the `Scale::Quick` Table I evaluation path (per-day accuracy of
+//! the base model over the online phase, plus per-sample noisy `z_scores`
+//! micro sections) and writes a machine-readable `BENCH_<rev>.json`. With
+//! `--check-against=bench/baseline.json` it compares probe-normalised
+//! section costs against the committed baseline and exits non-zero when a
+//! gated section regressed by more than `--max-regression` (default 25%).
+//!
+//! Gated sections run single-threaded so the gate measures kernel speed,
+//! not runner core count; a thread-fanned section is recorded ungated for
+//! information. The harness also verifies that batch evaluation is
+//! bit-identical at 1/4/16 threads and fails hard if it is not.
+//!
+//! Run: `cargo run --release -p qucad_bench --bin perf_harness -- \
+//!       [--out-dir=DIR] [--rev=REV] [--check-against=PATH] \
+//!       [--max-regression=0.25]`
+
+use qnn::executor::{parallel, NoisyExecutor};
+use qucad_bench::perf::{calibration_probe_ms, compare_reports, BenchReport};
+use qucad_bench::{Experiment, Scale, Task};
+
+fn arg_value(name: &str) -> Option<String> {
+    let prefix = format!("--{name}=");
+    std::env::args().find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+}
+
+fn resolve_rev() -> String {
+    if let Some(rev) = arg_value("rev") {
+        return rev;
+    }
+    for var in ["QUCAD_BENCH_REV", "GITHUB_SHA"] {
+        if let Ok(v) = std::env::var(var) {
+            if !v.trim().is_empty() {
+                return v.trim().chars().take(12).collect();
+            }
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string())
+}
+
+fn task_slug(task: Task) -> &'static str {
+    match task {
+        Task::Mnist4 => "mnist4",
+        Task::Iris => "iris",
+        Task::Seismic => "seismic",
+    }
+}
+
+/// Asserts bit-identical batch evaluation across thread counts; the
+/// parallel fan-out must never change the numbers the tables report.
+fn verify_thread_invariance(exp: &Experiment) {
+    let exec = NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
+    let samples = &exp.dataset.test[..exp.dataset.test.len().min(8)];
+    let snap = &exp.history.online()[0];
+    let reference = parallel::batch_z_scores(&exec, samples, &exp.base_weights, snap, 0, 1);
+    for threads in [4usize, 16] {
+        let got = parallel::batch_z_scores(&exec, samples, &exp.base_weights, snap, 0, threads);
+        for (i, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
+            for (j, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "thread-invariance violation: sample {i} score {j} differs at \
+                     {threads} threads ({x} vs {y})"
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let rev = resolve_rev();
+    let out_dir = arg_value("out-dir").unwrap_or_else(|| ".".to_string());
+    let max_regression: f64 = arg_value("max-regression")
+        .map(|v| v.parse().expect("--max-regression must be a number"))
+        .unwrap_or(0.25);
+    let threads = parallel::worker_threads();
+
+    eprintln!("[perf] measuring machine probe ...");
+    let probe_ms = calibration_probe_ms();
+    eprintln!("[perf] probe: {probe_ms:.1} ms");
+    let mut report = BenchReport::new(&rev, threads, probe_ms);
+
+    let mut experiments = Vec::new();
+    for task in Task::table1() {
+        let slug = task_slug(task);
+        eprintln!("[perf] preparing {} ...", task.name());
+        let exp = report.time(&format!("prepare_{slug}"), false, || {
+            Experiment::prepare(task, Scale::Quick, 42)
+        });
+        experiments.push(exp);
+    }
+
+    for exp in &experiments {
+        let slug = task_slug(exp.task);
+        let exec = NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
+        let eval_subset =
+            &exp.dataset.test[..exp.dataset.test.len().min(exp.qucad_config.eval_samples)];
+        let days: Vec<_> = exp.history.online().iter().collect();
+
+        // The Table I evaluation path: per-day accuracy of one weight
+        // vector over the whole online phase. Single-threaded so the gate
+        // tracks kernel speed, not core count.
+        eprintln!("[perf] table1 eval ({slug}) ...");
+        let series = report.time(&format!("table1_eval_{slug}"), true, || {
+            parallel::accuracy_over_days(&exec, &days, eval_subset, &exp.base_weights, 1)
+        });
+        assert_eq!(series.len(), days.len());
+        assert!(series.iter().all(|a| (0.0..=1.0).contains(a)));
+
+        // Same path fanned over the configured worker count (ungated:
+        // runner core counts vary).
+        if threads > 1 {
+            report.time(&format!("table1_eval_{slug}_{threads}thr"), false, || {
+                parallel::accuracy_over_days(&exec, &days, eval_subset, &exp.base_weights, threads)
+            });
+        }
+
+        // Micro: repeated single-sample noisy evaluation (the innermost
+        // unit of every table/figure).
+        let features = &exp.dataset.test[0].features;
+        let snap = &exp.history.online()[0];
+        report.time(&format!("noisy_z_scores_{slug}_x32"), true, || {
+            for stream in 0..32u64 {
+                std::hint::black_box(exec.z_scores_seeded(
+                    features,
+                    &exp.base_weights,
+                    snap,
+                    stream,
+                ));
+            }
+        });
+    }
+
+    eprintln!("[perf] verifying 1/4/16-thread bit-identity ...");
+    report.time("thread_invariance_check", false, || {
+        verify_thread_invariance(&experiments[2]);
+    });
+
+    // Human-readable summary.
+    println!("perf_harness rev={rev} threads={threads} probe={probe_ms:.1}ms");
+    for s in &report.sections {
+        println!(
+            "  {:<34} {:>10.1} ms  (norm {:>7.2}){}",
+            s.name,
+            s.wall_ms,
+            report.normalized(s),
+            if s.gated { "  [gated]" } else { "" }
+        );
+    }
+
+    let path = format!("{}/BENCH_{}.json", out_dir.trim_end_matches('/'), rev);
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    std::fs::write(&path, report.to_json()).expect("write report");
+    println!("wrote {path}");
+
+    if let Some(baseline_path) = arg_value("check-against") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline = BenchReport::from_json(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {baseline_path}: {e}"));
+        let violations = compare_reports(&report, &baseline, max_regression);
+        if violations.is_empty() {
+            println!(
+                "gate OK: no gated section regressed more than {:.0}% vs {} (rev {})",
+                max_regression * 100.0,
+                baseline_path,
+                baseline.rev
+            );
+        } else {
+            eprintln!(
+                "PERF REGRESSION vs {} (rev {}), tolerance {:.0}%:",
+                baseline_path,
+                baseline.rev,
+                max_regression * 100.0
+            );
+            for v in &violations {
+                eprintln!(
+                    "  {:<34} norm {:.2} vs baseline {:.2} (+{:.0}%)",
+                    v.name,
+                    v.current_norm,
+                    v.baseline_norm,
+                    v.ratio * 100.0
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}

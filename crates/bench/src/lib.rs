@@ -11,6 +11,8 @@
 //! `paper` (full 243+146-day protocol). Select with the `QUCAD_SCALE`
 //! environment variable or a `--scale=` CLI argument.
 
+pub mod perf;
+
 use calibration::history::{FluctuatingHistory, HistoryConfig};
 use calibration::topology::Topology;
 use qnn::data::Dataset;

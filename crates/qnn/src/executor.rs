@@ -11,13 +11,24 @@
 //!
 //! The noisy path is where compression pays off: parameters at compression
 //! levels expand to fewer native ops, so fewer channels are applied.
+//!
+//! Execution goes through the fused pipeline: each call compiles the
+//! expanded circuit plus its noise interleave with [`transpile::fuse`] —
+//! prebound matrices, same-support runs collapsed into single passes — and
+//! runs it on a per-executor reusable [`SimWorkspace`], so the simulation
+//! itself performs no per-gate allocation and each worker thread allocates
+//! density-matrix storage once per run. Results are **bit-identical** to
+//! the op-by-op reference path
+//! ([`NoisyExecutor::z_scores_seeded_unfused`]), which is retained as the
+//! differential-testing oracle.
 
 use crate::model::VqcModel;
 use calibration::snapshot::CalibrationSnapshot;
 use calibration::topology::Topology;
-use quasim::density::DensityMatrix;
+use quasim::density::{DensityMatrix, SimWorkspace};
 use quasim::statevector::StateVector;
-use transpile::expand::{expand, ANGLE_TOL};
+use transpile::expand::{expand, NativeCircuit, NativeOp, ANGLE_TOL};
+use transpile::fuse::{fuse_native_compacted, QubitCompaction};
 use transpile::route::{route, PhysicalCircuit};
 
 /// Noise-free evaluation: per-class `⟨Z⟩` scores on the logical circuit.
@@ -116,6 +127,9 @@ pub struct NoisyExecutor {
     phys: PhysicalCircuit,
     options: NoiseOptions,
     shot_rng: std::cell::RefCell<rand::rngs::StdRng>,
+    /// Reusable density-matrix storage: one allocation per executor clone
+    /// (i.e. per worker thread), reused across every evaluation it runs.
+    workspace: std::cell::RefCell<SimWorkspace>,
 }
 
 impl NoisyExecutor {
@@ -133,6 +147,7 @@ impl NoisyExecutor {
             phys,
             options,
             shot_rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(options.shot_seed)),
+            workspace: std::cell::RefCell::new(SimWorkspace::new()),
         }
     }
 
@@ -202,47 +217,61 @@ impl NoisyExecutor {
         self.z_scores_impl(features, weights, snapshot, &mut rng)
     }
 
-    fn z_scores_impl(
+    /// Retranspiles the circuit at the bound parameters (simplify → route →
+    /// expand), shared by the fused and unfused execution paths.
+    fn retranspile(&self, full: &[f64]) -> NativeCircuit {
+        let simplified = self.model.circuit().simplified(full, ANGLE_TOL);
+        let phys = route(&simplified, &self.topology, None);
+        expand(&phys, full)
+    }
+
+    /// Compaction of the device register to the qubits this circuit (and
+    /// its measurements) actually touch — unused physical qubits stay in
+    /// `|0⟩` forever and each one would quadruple the density matrix.
+    /// Shared by the fused and unfused paths so both simulate the
+    /// identical compact register.
+    fn compaction(&self, native: &NativeCircuit) -> QubitCompaction {
+        let measured: Vec<usize> = self
+            .model
+            .measured_logical()
+            .iter()
+            .map(|&l| native.measured_physical(l))
+            .collect();
+        QubitCompaction::for_native(native, &measured)
+    }
+
+    /// Depolarising strength the calibration snapshot assigns to one native
+    /// op, if any — the noise interleave both execution paths apply.
+    fn op_lambda(&self, op: &NativeOp, snapshot: &CalibrationSnapshot) -> Option<f64> {
+        let qubits = op.gate.qubits();
+        if op.is_entangler() {
+            let edge = self
+                .topology
+                .edge_index(qubits[0], qubits[1])
+                .expect("routed entangler must sit on an edge");
+            Some(self.options.scale * snapshot.cnot_error[edge])
+        } else if op.pulses > 0 {
+            Some(self.options.scale * op.pulses as f64 * snapshot.single_qubit_error[qubits[0]])
+        } else {
+            None
+        }
+    }
+
+    /// Readout + shot-noise post-processing from physical `P(1)` values to
+    /// per-class Z scores.
+    fn scores_from_probs(
         &self,
-        features: &[f64],
-        weights: &[f64],
+        native: &NativeCircuit,
         snapshot: &CalibrationSnapshot,
         shot_rng: &mut rand::rngs::StdRng,
+        prob_one: impl Fn(usize) -> f64,
     ) -> Vec<f64> {
-        assert_eq!(
-            snapshot.n_qubits(),
-            self.topology.n_qubits(),
-            "snapshot does not match device"
-        );
-        let full = self.model.full_params(features, weights);
-        let simplified = self.model.circuit().simplified(&full, ANGLE_TOL);
-        let phys = route(&simplified, &self.topology, None);
-        let native = expand(&phys, &full);
-
-        let mut rho = DensityMatrix::zero_state(self.topology.n_qubits());
-        for op in native.ops() {
-            rho.apply_gate(&op.gate);
-            let qubits = op.gate.qubits();
-            if op.is_entangler() {
-                let edge = self
-                    .topology
-                    .edge_index(qubits[0], qubits[1])
-                    .expect("routed entangler must sit on an edge");
-                let lambda = self.options.scale * snapshot.cnot_error[edge];
-                rho.apply_depolarizing_2q(lambda, qubits[0], qubits[1]);
-            } else if op.pulses > 0 {
-                let lambda =
-                    self.options.scale * op.pulses as f64 * snapshot.single_qubit_error[qubits[0]];
-                rho.apply_depolarizing_1q(lambda, qubits[0]);
-            }
-        }
-
         self.model
             .measured_logical()
             .iter()
             .map(|&logical| {
                 let phys_q = native.measured_physical(logical);
-                let mut p1 = rho.prob_one(phys_q);
+                let mut p1 = prob_one(phys_q);
                 if self.options.readout {
                     p1 = snapshot.readout[phys_q].apply_to_prob_one(p1);
                 }
@@ -257,14 +286,94 @@ impl NoisyExecutor {
             .collect()
     }
 
+    fn z_scores_impl(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        shot_rng: &mut rand::rngs::StdRng,
+    ) -> Vec<f64> {
+        assert_eq!(
+            snapshot.n_qubits(),
+            self.topology.n_qubits(),
+            "snapshot does not match device"
+        );
+        let full = self.model.full_params(features, weights);
+        let native = self.retranspile(&full);
+        // Compile the native circuit plus its noise interleave into a fused
+        // program over the compacted register (matrices prebound once,
+        // same-support runs collapsed into single passes) and run it on
+        // the reusable workspace — the whole simulation allocates nothing
+        // beyond the program itself.
+        let compaction = self.compaction(&native);
+        let program =
+            fuse_native_compacted(&native, &compaction, |op| self.op_lambda(op, snapshot));
+        let mut ws = self.workspace.borrow_mut();
+        ws.reset_zero(compaction.n_active());
+        ws.run(&program);
+        self.scores_from_probs(&native, snapshot, shot_rng, |q| {
+            ws.prob_one(compaction.compact(q))
+        })
+    }
+
+    /// Reference implementation of [`Self::z_scores_seeded`] that applies
+    /// every native op and noise channel one by one through
+    /// [`DensityMatrix`], with no fusion and no workspace reuse.
+    ///
+    /// Kept as the differential-testing oracle: the fused production path
+    /// must return **bit-identical** scores (see the `fused_identity`
+    /// property tests). Not for production use — it allocates per call and
+    /// walks `ρ` once per operation.
+    pub fn z_scores_seeded_unfused(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        stream: u64,
+    ) -> Vec<f64> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(mix_stream(self.options.shot_seed, stream));
+        assert_eq!(
+            snapshot.n_qubits(),
+            self.topology.n_qubits(),
+            "snapshot does not match device"
+        );
+        let full = self.model.full_params(features, weights);
+        let native = self.retranspile(&full);
+        let compaction = self.compaction(&native);
+        let mut rho = DensityMatrix::zero_state(compaction.n_active());
+        for op in native.ops() {
+            let qubits = op.gate.qubits();
+            let c0 = compaction.compact(qubits[0]);
+            match op.gate.kind() {
+                quasim::gate::GateKind::Cx => {
+                    rho.apply_cx(c0, compaction.compact(qubits[1]));
+                }
+                kind if kind.arity() == 1 => {
+                    rho.apply_unitary_1q(&op.gate.matrix(), c0);
+                }
+                _ => {
+                    rho.apply_unitary_2q(&op.gate.matrix(), c0, compaction.compact(qubits[1]));
+                }
+            }
+            if let Some(lambda) = self.op_lambda(op, snapshot) {
+                match qubits.len() {
+                    1 => rho.apply_depolarizing_1q(lambda, c0),
+                    _ => rho.apply_depolarizing_2q(lambda, c0, compaction.compact(qubits[1])),
+                }
+            }
+        }
+        self.scores_from_probs(&native, snapshot, &mut rng, |q| {
+            rho.prob_one(compaction.compact(q))
+        })
+    }
+
     /// Physical circuit length (pulses + 3×CX) at the given weights after
     /// simplify-then-route retranspilation; the quantity compression
     /// shortens.
     pub fn circuit_length(&self, features: &[f64], weights: &[f64]) -> u32 {
         let full = self.model.full_params(features, weights);
-        let simplified = self.model.circuit().simplified(&full, ANGLE_TOL);
-        let phys = route(&simplified, &self.topology, None);
-        expand(&phys, &full).length()
+        self.retranspile(&full).length()
     }
 }
 
@@ -304,6 +413,12 @@ pub mod parallel {
     //! Thread count selection: [`worker_threads`] honours the
     //! `QUCAD_THREADS` environment variable and falls back to
     //! [`std::thread::available_parallelism`].
+    //!
+    //! Each worker clones the executor once and with it one
+    //! [`quasim::density::SimWorkspace`], so density-matrix storage is
+    //! allocated **once per worker per run** and reset in place between
+    //! samples — the thread fan-out adds no per-sample allocation on top
+    //! of the fused simulation path.
 
     use super::NoisyExecutor;
     use crate::data::Sample;

@@ -1,0 +1,87 @@
+//! Differential property tests of the fused executor path: for arbitrary
+//! features, weights, calibration snapshots, and noise options, the fused
+//! production path must return `z_scores` **byte-identical** to the
+//! unfused op-by-op reference ([`NoisyExecutor::z_scores_seeded_unfused`]).
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use qnn::executor::{NoiseOptions, NoisyExecutor};
+use qnn::model::VqcModel;
+
+fn arb_options() -> impl Strategy<Value = NoiseOptions> {
+    (
+        prop_oneof![Just(0.0f64), Just(1.0), Just(3.0)],
+        any::<bool>(),
+        prop_oneof![Just(None), Just(Some(64u64)), Just(Some(1024u64))],
+        0u64..1_000_000,
+    )
+        .prop_map(|(scale, readout, shots, shot_seed)| NoiseOptions {
+            scale,
+            readout,
+            shots,
+            shot_seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused and unfused z_scores agree bit-for-bit across random inputs,
+    /// noise options, shot-noise streams, and both Table I devices.
+    #[test]
+    fn fused_z_scores_byte_identical_to_unfused(
+        options in arb_options(),
+        features in proptest::collection::vec(-2.0f64..2.0, 4),
+        weight_scale in -1.5f64..1.5,
+        err_1q in 0.0f64..5e-3,
+        err_cx in 0.0f64..5e-2,
+        err_ro in 0.0f64..0.05,
+        stream in 0u64..1_000,
+        jakarta in any::<bool>(),
+    ) {
+        let topo = if jakarta { Topology::ibm_jakarta() } else { Topology::ibm_belem() };
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let exec = NoisyExecutor::new(&model, &topo, options);
+        let snap = CalibrationSnapshot::uniform(&topo, 0, err_1q, err_cx, err_ro);
+        let weights: Vec<f64> = (0..model.n_weights())
+            .map(|i| weight_scale * (i as f64 * 0.61).sin())
+            .collect();
+
+        let fused = exec.z_scores_seeded(&features, &weights, &snap, stream);
+        let unfused = exec.z_scores_seeded_unfused(&features, &weights, &snap, stream);
+        prop_assert_eq!(fused.len(), unfused.len());
+        for (i, (a, b)) in fused.iter().zip(unfused.iter()).enumerate() {
+            prop_assert!(
+                a.to_bits() == b.to_bits(),
+                "score {} differs: {} (fused) vs {} (unfused)", i, a, b
+            );
+        }
+    }
+
+    /// Compressed parameter vectors retranspile to shorter circuits whose
+    /// fused execution still matches the reference bit-for-bit (the
+    /// simplify → route → expand pipeline changes shape per input).
+    #[test]
+    fn fused_identity_holds_under_compression(
+        n_zeroed in 0usize..12,
+        stream in 0u64..1_000,
+    ) {
+        let topo = Topology::ibm_belem();
+        let model = VqcModel::paper_model(4, 2, 4, 2);
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(512, 9));
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let mut weights: Vec<f64> = (0..model.n_weights())
+            .map(|i| 0.9 + 0.1 * i as f64)
+            .collect();
+        for w in weights.iter_mut().take(n_zeroed) {
+            *w = 0.0; // identity angles vanish during simplification
+        }
+        let features = [0.4, -0.2, 1.1, 0.7];
+        let fused = exec.z_scores_seeded(&features, &weights, &snap, stream);
+        let unfused = exec.z_scores_seeded_unfused(&features, &weights, &snap, stream);
+        for (a, b) in fused.iter().zip(unfused.iter()) {
+            prop_assert!(a.to_bits() == b.to_bits(), "{} vs {}", a, b);
+        }
+    }
+}

@@ -5,9 +5,20 @@
 //! `D ≤ 128`) dense simulation is exact and fast, avoiding the sampling
 //! variance a shot-based simulator would add on top of the physical noise
 //! being studied.
+//!
+//! All mutation goes through the bit-twiddled block kernels in [`kernels`]:
+//! a one-qubit op couples `ρ` entries only within `2×2` blocks (rows and
+//! columns paired along the qubit's bit) and a two-qubit op within `4×4`
+//! blocks, so every kernel loads a block once, transforms it in registers,
+//! and stores it back — one cache-friendly pass per operation and **zero
+//! heap allocation**. Runs of operations sharing a support can be collapsed
+//! into a single pass via [`crate::fused::FusedProgram`] /
+//! [`DensityMatrix::apply_fused`], and [`SimWorkspace`] makes the backing
+//! storage reusable across simulations.
 
+use crate::fused::FusedProgram;
 use crate::gate::BoundGate;
-use crate::math::{CMatrix, Complex64};
+use crate::math::{CMatrix, Complex64, M2, M4};
 use crate::noise::{apply_readout_to_distribution, KrausChannel, ReadoutError};
 use crate::statevector::StateVector;
 
@@ -113,20 +124,19 @@ impl DensityMatrix {
         }
     }
 
-    /// Applies a 2×2 unitary on qubit `q`: `ρ → UρU†`.
+    /// Applies a 2×2 unitary on qubit `q`: `ρ → UρU†`, one blocked pass.
     ///
     /// # Panics
     ///
     /// Panics if `q` is out of range or `u` is not 2×2.
     pub fn apply_unitary_1q(&mut self, u: &CMatrix, q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
-        assert_eq!(u.dim(), 2, "expected a 2x2 matrix");
-        self.left_mul_1q(u, q);
-        self.right_mul_dagger_1q(u, q);
+        let m = u.to_2x2().expect("expected a 2x2 matrix");
+        kernels::unitary_1q(&mut self.data, self.dim, &m, crate::fused::classify2(&m), q);
     }
 
-    /// Applies a 4×4 unitary on qubits `(a, b)`: `ρ → UρU†`. Qubit `a` maps
-    /// to the most significant local bit.
+    /// Applies a 4×4 unitary on qubits `(a, b)`: `ρ → UρU†`, one blocked
+    /// pass. Qubit `a` maps to the most significant local bit.
     ///
     /// # Panics
     ///
@@ -134,12 +144,15 @@ impl DensityMatrix {
     pub fn apply_unitary_2q(&mut self, u: &CMatrix, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits, "qubit out of range");
         assert_ne!(a, b, "qubits must be distinct");
-        assert_eq!(u.dim(), 4, "expected a 4x4 matrix");
-        self.left_mul_2q(u, a, b);
-        self.right_mul_dagger_2q(u, a, b);
+        let m = u.to_4x4().expect("expected a 4x4 matrix");
+        kernels::unitary_2q(&mut self.data, self.dim, &m, a, b);
     }
 
     /// Applies a Kraus channel on the given qubits: `ρ → Σ_k K_k ρ K_k†`.
+    ///
+    /// Each block of the sum is conjugated out of the untouched source and
+    /// accumulated into a single scratch buffer (no per-Kraus-term copy of
+    /// `ρ`), which is then adopted as the new state.
     ///
     /// # Panics
     ///
@@ -150,29 +163,39 @@ impl DensityMatrix {
             channel.arity(),
             "channel arity does not match qubit count"
         );
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
         let mut acc = vec![Complex64::ZERO; self.data.len()];
-        let original = self.data.clone();
-        for k in channel.kraus_ops() {
-            self.data.copy_from_slice(&original);
-            match channel.arity() {
-                1 => {
-                    self.left_mul_1q(k, qubits[0]);
-                    self.right_mul_dagger_1q(k, qubits[0]);
-                }
-                _ => {
-                    self.left_mul_2q(k, qubits[0], qubits[1]);
-                    self.right_mul_dagger_2q(k, qubits[0], qubits[1]);
-                }
+        match channel.arity() {
+            1 => {
+                let ks: Vec<(M2, crate::fused::MatClass)> = channel
+                    .kraus_ops()
+                    .iter()
+                    .map(|k| {
+                        let m = k.to_2x2().expect("one-qubit Kraus operator");
+                        (m, crate::fused::classify2(&m))
+                    })
+                    .collect();
+                kernels::channel_accumulate_1q(&self.data, &mut acc, self.dim, &ks, qubits[0]);
             }
-            for (a, &d) in acc.iter_mut().zip(self.data.iter()) {
-                *a += d;
+            _ => {
+                assert_ne!(qubits[0], qubits[1], "qubits must be distinct");
+                let ks: Vec<M4> = channel
+                    .kraus_ops()
+                    .iter()
+                    .map(|k| k.to_4x4().expect("two-qubit Kraus operator"))
+                    .collect();
+                kernels::channel_accumulate_2q(
+                    &self.data, &mut acc, self.dim, &ks, qubits[0], qubits[1],
+                );
             }
         }
         self.data = acc;
     }
 
     /// Fast CNOT application: `ρ → CX ρ CX†` as a pure index permutation
-    /// (no complex multiplications).
+    /// (no complex multiplications), one blocked pass.
     ///
     /// # Panics
     ///
@@ -183,27 +206,7 @@ impl DensityMatrix {
             "qubit out of range"
         );
         assert_ne!(control, target, "qubits must be distinct");
-        let mc = 1usize << control;
-        let mt = 1usize << target;
-        let dim = self.dim;
-        // Row permutation: rows with control bit set swap target-bit pairs.
-        for row in 0..dim {
-            if row & mc != 0 && row & mt == 0 {
-                let r2 = row | mt;
-                for col in 0..dim {
-                    self.data.swap(row * dim + col, r2 * dim + col);
-                }
-            }
-        }
-        // Column permutation.
-        for row in 0..dim {
-            let base = row * dim;
-            for col in 0..dim {
-                if col & mc != 0 && col & mt == 0 {
-                    self.data.swap(base + col, base + (col | mt));
-                }
-            }
-        }
+        kernels::cx(&mut self.data, self.dim, control, target);
     }
 
     /// Fast closed-form one-qubit depolarising channel on qubit `q`:
@@ -222,28 +225,7 @@ impl DensityMatrix {
         if l == 0.0 {
             return;
         }
-        let mask = 1usize << q;
-        let dim = self.dim;
-        let keep = 1.0 - l;
-        for i in 0..dim {
-            if i & mask != 0 {
-                continue;
-            }
-            let i1 = i | mask;
-            for j in 0..dim {
-                if j & mask != 0 {
-                    continue;
-                }
-                let j1 = j | mask;
-                let d00 = self.data[i * dim + j];
-                let d11 = self.data[i1 * dim + j1];
-                let avg = (d00 + d11).scale(0.5 * l);
-                self.data[i * dim + j] = d00.scale(keep) + avg;
-                self.data[i1 * dim + j1] = d11.scale(keep) + avg;
-                self.data[i * dim + j1] = self.data[i * dim + j1].scale(keep);
-                self.data[i1 * dim + j] = self.data[i1 * dim + j].scale(keep);
-            }
-        }
+        kernels::depol_1q(&mut self.data, self.dim, l, q);
     }
 
     /// Fast closed-form two-qubit depolarising channel on `(a, b)`:
@@ -262,38 +244,22 @@ impl DensityMatrix {
         if l == 0.0 {
             return;
         }
-        let ma = 1usize << a;
-        let mb = 1usize << b;
-        let dim = self.dim;
-        let keep = 1.0 - l;
-        for i in 0..dim {
-            if i & ma != 0 || i & mb != 0 {
-                continue;
-            }
-            let irows = [i, i | mb, i | ma, i | ma | mb];
-            for j in 0..dim {
-                if j & ma != 0 || j & mb != 0 {
-                    continue;
-                }
-                let jcols = [j, j | mb, j | ma, j | ma | mb];
-                // Partial trace over the 4×4 block diagonal.
-                let mut tr = Complex64::ZERO;
-                for k in 0..4 {
-                    tr += self.data[irows[k] * dim + jcols[k]];
-                }
-                let mix = tr.scale(0.25 * l);
-                for (r, &row) in irows.iter().enumerate() {
-                    for (c, &col) in jcols.iter().enumerate() {
-                        let idx = row * dim + col;
-                        let mut v = self.data[idx].scale(keep);
-                        if r == c {
-                            v += mix;
-                        }
-                        self.data[idx] = v;
-                    }
-                }
-            }
-        }
+        kernels::depol_2q(&mut self.data, self.dim, l, a, b);
+    }
+
+    /// Executes a fused program in place; bit-identical to applying the
+    /// program's operations one by one through the methods above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's qubit count differs from this matrix's.
+    pub fn apply_fused(&mut self, program: &FusedProgram) {
+        assert_eq!(
+            program.n_qubits(),
+            self.n_qubits,
+            "program qubit count mismatch"
+        );
+        program.run_on(&mut self.data);
     }
 
     /// Diagonal of `ρ` as a classical probability distribution.
@@ -373,103 +339,620 @@ impl DensityMatrix {
         }
         acc.re
     }
+}
 
-    // --- local multiplication kernels -------------------------------------
+/// A reusable density-matrix simulation workspace.
+///
+/// Owns the flat row-major `ρ` storage the kernels write into, so a worker
+/// thread can simulate thousands of circuits with **one** allocation:
+/// [`SimWorkspace::reset_zero`] re-initialises the state in place (growing
+/// the buffer only when the register grows) and
+/// [`SimWorkspace::run`] executes a [`FusedProgram`] on it.
+///
+/// # Examples
+///
+/// ```
+/// use quasim::density::SimWorkspace;
+/// use quasim::fused::ProgramBuilder;
+/// use quasim::gate::GateKind;
+///
+/// let mut builder = ProgramBuilder::new(2);
+/// builder.unitary_1q(0, GateKind::H.entries_1q(0.0).unwrap());
+/// builder.cx(0, 1);
+/// let program = builder.finish();
+///
+/// let mut ws = SimWorkspace::new();
+/// for _ in 0..3 {
+///     ws.reset_zero(2); // reuses the same buffer every iteration
+///     ws.run(&program);
+///     assert!((ws.prob_one(1) - 0.5).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimWorkspace {
+    n_qubits: usize,
+    dim: usize,
+    rho: Vec<Complex64>,
+}
 
-    /// `ρ → (U_q) ρ` for a 2×2 `u` acting on qubit `q`.
+impl SimWorkspace {
+    /// Creates an empty workspace (no storage until the first reset).
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Re-initialises the state to `|0…0⟩⟨0…0|` over `n_qubits`, reusing
+    /// the existing buffer when large enough.
     ///
-    /// Iterates row pairs in the outer loop so both row slices are walked
-    /// contiguously (row-major layout).
-    fn left_mul_1q(&mut self, u: &CMatrix, q: usize) {
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or greater than 12.
+    pub fn reset_zero(&mut self, n_qubits: usize) {
+        assert!((1..=12).contains(&n_qubits), "unsupported qubit count");
+        let dim = 1usize << n_qubits;
+        self.n_qubits = n_qubits;
+        self.dim = dim;
+        self.rho.clear();
+        self.rho.resize(dim * dim, Complex64::ZERO);
+        self.rho[0] = Complex64::ONE;
+    }
+
+    /// Number of qubits of the current state (0 before the first reset).
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Matrix dimension `2^n` of the current state.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Executes a fused program in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's qubit count differs from the workspace's
+    /// current register (reset first).
+    pub fn run(&mut self, program: &FusedProgram) {
+        assert_eq!(
+            program.n_qubits(),
+            self.n_qubits,
+            "program/workspace qubit count mismatch"
+        );
+        program.run_on(&mut self.rho);
+    }
+
+    /// Probability of measuring qubit `q` as `1`; bit-identical to
+    /// [`DensityMatrix::prob_one`] on the same state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
         let mask = 1usize << q;
-        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
-        let dim = self.dim;
-        for row in 0..dim {
-            if row & mask != 0 {
-                continue;
+        (0..self.dim)
+            .filter(|i| i & mask != 0)
+            .map(|i| self.rho[i * self.dim + i].re)
+            .sum()
+    }
+
+    /// Diagonal of `ρ` as a classical probability distribution;
+    /// bit-identical to [`DensityMatrix::probabilities`].
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|i| self.rho[i * self.dim + i].re)
+            .collect()
+    }
+
+    /// The flat row-major storage.
+    pub fn rho(&self) -> &[Complex64] {
+        &self.rho
+    }
+
+    /// Copies the current state into an owned [`DensityMatrix`] (for
+    /// inspection and tests; the hot path never needs this).
+    pub fn to_density_matrix(&self) -> DensityMatrix {
+        assert!(self.n_qubits > 0, "workspace not initialised");
+        DensityMatrix {
+            n_qubits: self.n_qubits,
+            dim: self.dim,
+            data: self.rho.clone(),
+        }
+    }
+}
+
+pub(crate) mod kernels {
+    //! Bit-twiddled block kernels shared by [`super::DensityMatrix`], the
+    //! Kraus-channel accumulator, and the fused-program runners.
+    //!
+    //! Every kernel walks `ρ` in coupled blocks (2×2 for one-qubit support,
+    //! 4×4 for two-qubit support), loading each block into registers once,
+    //! and exploits two structural facts:
+    //!
+    //! - **Hermitian symmetry.** `ρ` is Hermitian and every operation here
+    //!   (unitary conjugation, depolarising channels, Kraus sums) preserves
+    //!   Hermiticity, so kernels compute only blocks on or above the block
+    //!   diagonal and write the conjugate transpose into the mirror block —
+    //!   half the arithmetic.
+    //! - **Matrix structure.** Real (`RY`, `H`, Paulis) and diagonal
+    //!   (`RZ`, phases) 2×2 unitaries are classified once per program
+    //!   ([`crate::fused::MatClass`]) and conjugated with specialised
+    //!   expressions that skip the exactly-zero terms — about 2× fewer
+    //!   floating-point operations on the dominant kernel.
+    //!
+    //! Both the op-by-op [`super::DensityMatrix`] methods and the fused
+    //! segment runners call these same primitives, so fused execution stays
+    //! **bit-identical** to the unfused reference by construction.
+
+    use crate::fused::MatClass;
+    use crate::math::{Complex64, M2, M4};
+
+    /// Spreads `k` by inserting a `0` bit at the position of the
+    /// single-bit `mask`: enumerating `k = 0..dim/2` yields every index
+    /// with that bit clear, in ascending order.
+    #[inline(always)]
+    pub(crate) fn insert_zero_bit(k: usize, mask: usize) -> usize {
+        let low = k & (mask - 1);
+        ((k ^ low) << 1) | low
+    }
+
+    /// Conjugates a 2×2 block: `B → U B U†`, dispatching on the matrix
+    /// class (the specialised paths skip exactly-zero terms; any deviation
+    /// from the general path is confined to the sign of zeros).
+    ///
+    /// Block layout: `[b(r0,c0), b(r0,c1), b(r1,c0), b(r1,c1)]` with
+    /// `r1 = r0 | mask`, `c1 = c0 | mask`.
+    #[inline(always)]
+    pub(crate) fn conj2(b: [Complex64; 4], u: &M2, class: MatClass) -> [Complex64; 4] {
+        match class {
+            MatClass::General => conj2_general(b, u),
+            MatClass::Real => conj2_real(b, u),
+            MatClass::Diagonal => conj2_diag(b, u),
+        }
+    }
+
+    #[inline(always)]
+    fn conj2_general(b: [Complex64; 4], u: &M2) -> [Complex64; 4] {
+        let [u00, u01, u10, u11] = *u;
+        // Left multiply (U B), columns independent.
+        let t00 = u00 * b[0] + u01 * b[2];
+        let t01 = u00 * b[1] + u01 * b[3];
+        let t10 = u10 * b[0] + u11 * b[2];
+        let t11 = u10 * b[1] + u11 * b[3];
+        // Right multiply ((U B) U†), rows independent.
+        [
+            t00 * u00.conj() + t01 * u01.conj(),
+            t00 * u10.conj() + t01 * u11.conj(),
+            t10 * u00.conj() + t11 * u01.conj(),
+            t10 * u10.conj() + t11 * u11.conj(),
+        ]
+    }
+
+    /// Real unitary: `U† = Uᵀ` and every product is real×complex (two
+    /// multiplies instead of a full complex multiply).
+    #[inline(always)]
+    fn conj2_real(b: [Complex64; 4], u: &M2) -> [Complex64; 4] {
+        let (u00, u01, u10, u11) = (u[0].re, u[1].re, u[2].re, u[3].re);
+        let rc = |x: f64, z: Complex64| Complex64::new(x * z.re, x * z.im);
+        let t00 = rc(u00, b[0]) + rc(u01, b[2]);
+        let t01 = rc(u00, b[1]) + rc(u01, b[3]);
+        let t10 = rc(u10, b[0]) + rc(u11, b[2]);
+        let t11 = rc(u10, b[1]) + rc(u11, b[3]);
+        [
+            rc(u00, t00) + rc(u01, t01),
+            rc(u10, t00) + rc(u11, t01),
+            rc(u00, t10) + rc(u01, t11),
+            rc(u10, t10) + rc(u11, t11),
+        ]
+    }
+
+    /// Diagonal unitary: rows scale by `u_rr`, columns by `conj(u_cc)`.
+    #[inline(always)]
+    fn conj2_diag(b: [Complex64; 4], u: &M2) -> [Complex64; 4] {
+        let (u00, u11) = (u[0], u[3]);
+        [
+            (u00 * b[0]) * u00.conj(),
+            (u00 * b[1]) * u11.conj(),
+            (u11 * b[2]) * u00.conj(),
+            (u11 * b[3]) * u11.conj(),
+        ]
+    }
+
+    /// One-qubit depolarising update of a 2×2 block (`l` pre-clamped,
+    /// non-zero).
+    #[inline(always)]
+    pub(crate) fn depol1(b: [Complex64; 4], l: f64) -> [Complex64; 4] {
+        let keep = 1.0 - l;
+        let avg = (b[0] + b[3]).scale(0.5 * l);
+        [
+            b[0].scale(keep) + avg,
+            b[1].scale(keep),
+            b[2].scale(keep),
+            b[3].scale(keep) + avg,
+        ]
+    }
+
+    /// Conjugates a 4×4 block in place: `B → U B U†`.
+    ///
+    /// `map` translates the unitary's own quartet order to the block's
+    /// canonical order (identity, or the bit-swap `[0, 2, 1, 3]` when the
+    /// op's qubit order is reversed relative to the block layout), keeping
+    /// summation order — and therefore bits — identical to applying the op
+    /// with its own qubit order.
+    #[inline(always)]
+    pub(crate) fn conj4(b: &mut [Complex64; 16], u: &M4, map: [usize; 4]) {
+        // Left multiply, columns independent.
+        let mut t = [Complex64::ZERO; 16];
+        for c in 0..4 {
+            for r in 0..4 {
+                let mut acc = Complex64::ZERO;
+                for k in 0..4 {
+                    acc += u[r * 4 + k] * b[map[k] * 4 + c];
+                }
+                t[map[r] * 4 + c] = acc;
             }
-            let r1 = row | mask;
-            let (base0, base1) = (row * dim, r1 * dim);
-            for col in 0..dim {
-                let a0 = self.data[base0 + col];
-                let a1 = self.data[base1 + col];
-                self.data[base0 + col] = u00 * a0 + u01 * a1;
-                self.data[base1 + col] = u10 * a0 + u11 * a1;
+        }
+        // Right multiply by U†, rows independent.
+        for r in 0..4 {
+            let mut row = [Complex64::ZERO; 4];
+            for (c, slot) in row.iter_mut().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for k in 0..4 {
+                    acc += t[r * 4 + map[k]] * u[c * 4 + k].conj();
+                }
+                *slot = acc;
+            }
+            for (c, &v) in row.iter().enumerate() {
+                b[r * 4 + map[c]] = v;
             }
         }
     }
 
-    /// `ρ → ρ (U_q)†` for a 2×2 `u` acting on qubit `q`.
-    fn right_mul_dagger_1q(&mut self, u: &CMatrix, q: usize) {
+    /// Two-qubit depolarising update of a 4×4 block (`l` pre-clamped,
+    /// non-zero); `map` as in [`conj4`].
+    #[inline(always)]
+    pub(crate) fn depol2(b: &mut [Complex64; 16], l: f64, map: [usize; 4]) {
+        let keep = 1.0 - l;
+        // Partial trace over the block diagonal, in the op's own order.
+        let mut tr = Complex64::ZERO;
+        for &m in &map {
+            tr += b[m * 4 + m];
+        }
+        let mix = tr.scale(0.25 * l);
+        for r in 0..4 {
+            for c in 0..4 {
+                let idx = map[r] * 4 + map[c];
+                let mut v = b[idx].scale(keep);
+                if r == c {
+                    v += mix;
+                }
+                b[idx] = v;
+            }
+        }
+    }
+
+    /// CNOT on a 4×4 block: flips the target bit wherever the control bit
+    /// is set (pure permutation). `control_is_a` selects which local bit is
+    /// the control; canonical index = `2·a_bit + b_bit`.
+    #[inline(always)]
+    pub(crate) fn cx_block(b: &mut [Complex64; 16], control_is_a: bool) {
+        let (x, y) = if control_is_a {
+            (2usize, 3usize)
+        } else {
+            (1usize, 3usize)
+        };
+        for c in 0..4 {
+            b.swap(x * 4 + c, y * 4 + c);
+        }
+        for r in 0..4 {
+            b.swap(r * 4 + x, r * 4 + y);
+        }
+    }
+
+    /// Loads the 2×2 block at row pair `(base0, base1)` × column pair
+    /// `(c0, c1)`.
+    #[inline(always)]
+    pub(crate) fn load2(
+        data: &[Complex64],
+        base0: usize,
+        base1: usize,
+        c0: usize,
+        c1: usize,
+    ) -> [Complex64; 4] {
+        [
+            data[base0 + c0],
+            data[base0 + c1],
+            data[base1 + c0],
+            data[base1 + c1],
+        ]
+    }
+
+    /// Stores a 2×2 block back.
+    #[inline(always)]
+    pub(crate) fn store2(
+        data: &mut [Complex64],
+        base0: usize,
+        base1: usize,
+        c0: usize,
+        c1: usize,
+        blk: [Complex64; 4],
+    ) {
+        data[base0 + c0] = blk[0];
+        data[base0 + c1] = blk[1];
+        data[base1 + c0] = blk[2];
+        data[base1 + c1] = blk[3];
+    }
+
+    /// Stores the conjugate transpose of a 2×2 block into its Hermitian
+    /// mirror position (rows ↔ columns).
+    #[inline(always)]
+    pub(crate) fn store2_mirror(
+        data: &mut [Complex64],
+        dim: usize,
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+        blk: [Complex64; 4],
+    ) {
+        data[c0 * dim + r0] = blk[0].conj();
+        data[c0 * dim + r1] = blk[2].conj();
+        data[c1 * dim + r0] = blk[1].conj();
+        data[c1 * dim + r1] = blk[3].conj();
+    }
+
+    /// `ρ → U ρ U†` for a 2×2 unitary on qubit `q`: one pass over the
+    /// upper block triangle, mirroring the lower half.
+    pub(crate) fn unitary_1q(
+        data: &mut [Complex64],
+        dim: usize,
+        u: &M2,
+        class: MatClass,
+        q: usize,
+    ) {
         let mask = 1usize << q;
-        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
-        let dim = self.dim;
-        for row in 0..dim {
-            let base = row * dim;
-            for col in 0..dim {
-                if col & mask == 0 {
-                    let c1 = col | mask;
-                    let a0 = self.data[base + col];
-                    let a1 = self.data[base + c1];
-                    // (ρU†)[·,c] pairs: new0 = a0·conj(u00) + a1·conj(u01)
-                    self.data[base + col] = a0 * u00.conj() + a1 * u01.conj();
-                    self.data[base + c1] = a0 * u10.conj() + a1 * u11.conj();
+        let half = dim >> 1;
+        for rk in 0..half {
+            let r0 = insert_zero_bit(rk, mask);
+            let r1 = r0 | mask;
+            let (base0, base1) = (r0 * dim, r1 * dim);
+            // Diagonal block: computed fully in place.
+            let blk = conj2(load2(data, base0, base1, r0, r1), u, class);
+            store2(data, base0, base1, r0, r1, blk);
+            for ck in rk + 1..half {
+                let c0 = insert_zero_bit(ck, mask);
+                let c1 = c0 | mask;
+                let blk = conj2(load2(data, base0, base1, c0, c1), u, class);
+                store2(data, base0, base1, c0, c1, blk);
+                store2_mirror(data, dim, r0, r1, c0, c1, blk);
+            }
+        }
+    }
+
+    /// One-qubit depolarising channel on qubit `q` (`l` pre-clamped,
+    /// non-zero): one pass over the upper block triangle.
+    pub(crate) fn depol_1q(data: &mut [Complex64], dim: usize, l: f64, q: usize) {
+        let mask = 1usize << q;
+        let half = dim >> 1;
+        for rk in 0..half {
+            let r0 = insert_zero_bit(rk, mask);
+            let r1 = r0 | mask;
+            let (base0, base1) = (r0 * dim, r1 * dim);
+            let blk = depol1(load2(data, base0, base1, r0, r1), l);
+            store2(data, base0, base1, r0, r1, blk);
+            for ck in rk + 1..half {
+                let c0 = insert_zero_bit(ck, mask);
+                let c1 = c0 | mask;
+                let blk = depol1(load2(data, base0, base1, c0, c1), l);
+                store2(data, base0, base1, c0, c1, blk);
+                store2_mirror(data, dim, r0, r1, c0, c1, blk);
+            }
+        }
+    }
+
+    /// Enumerates the masks of a two-qubit support in ascending order.
+    #[inline(always)]
+    fn sorted_masks(a: usize, b: usize) -> (usize, usize, usize, usize) {
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let (lo, hi) = if ma < mb { (ma, mb) } else { (mb, ma) };
+        (ma, mb, lo, hi)
+    }
+
+    /// Loads a 4×4 block (row bases × column indices).
+    #[inline(always)]
+    pub(crate) fn load4(
+        data: &[Complex64],
+        rows: &[usize; 4],
+        cols: &[usize; 4],
+    ) -> [Complex64; 16] {
+        let mut blk = [Complex64::ZERO; 16];
+        for (r, &row) in rows.iter().enumerate() {
+            for (c, &col) in cols.iter().enumerate() {
+                blk[r * 4 + c] = data[row + col];
+            }
+        }
+        blk
+    }
+
+    /// Stores a 4×4 block back.
+    #[inline(always)]
+    pub(crate) fn store4(
+        data: &mut [Complex64],
+        rows: &[usize; 4],
+        cols: &[usize; 4],
+        blk: &[Complex64; 16],
+    ) {
+        for (r, &row) in rows.iter().enumerate() {
+            for (c, &col) in cols.iter().enumerate() {
+                data[row + col] = blk[r * 4 + c];
+            }
+        }
+    }
+
+    /// Stores the conjugate transpose of a 4×4 block into its Hermitian
+    /// mirror position (`ridx` are the block's row *indices*, not bases).
+    #[inline(always)]
+    pub(crate) fn store4_mirror(
+        data: &mut [Complex64],
+        dim: usize,
+        ridx: &[usize; 4],
+        cols: &[usize; 4],
+        blk: &[Complex64; 16],
+    ) {
+        for (c, &col) in cols.iter().enumerate() {
+            let base = col * dim;
+            for (r, &row) in ridx.iter().enumerate() {
+                data[base + row] = blk[r * 4 + c].conj();
+            }
+        }
+    }
+
+    /// `ρ → U ρ U†` for a 4×4 unitary on `(a, b)` (`a` = high local bit):
+    /// one pass over the upper block triangle.
+    pub(crate) fn unitary_2q(data: &mut [Complex64], dim: usize, u: &M4, a: usize, b: usize) {
+        let (ma, mb, m_lo, m_hi) = sorted_masks(a, b);
+        let quarter = dim >> 2;
+        for rk in 0..quarter {
+            let i = insert_zero_bit(insert_zero_bit(rk, m_lo), m_hi);
+            let ridx = [i, i | mb, i | ma, i | ma | mb];
+            let rows = ridx.map(|r| r * dim);
+            for ck in rk..quarter {
+                let j = insert_zero_bit(insert_zero_bit(ck, m_lo), m_hi);
+                let cols = [j, j | mb, j | ma, j | ma | mb];
+                let mut blk = load4(data, &rows, &cols);
+                conj4(&mut blk, u, [0, 1, 2, 3]);
+                store4(data, &rows, &cols, &blk);
+                if ck > rk {
+                    store4_mirror(data, dim, &ridx, &cols, &blk);
                 }
             }
         }
     }
 
-    /// `ρ → (U_{a,b}) ρ` for a 4×4 `u`; qubit `a` is the high local bit.
-    fn left_mul_2q(&mut self, u: &CMatrix, a: usize, b: usize) {
-        let ma = 1usize << a;
-        let mb = 1usize << b;
-        let dim = self.dim;
-        for col in 0..dim {
-            for row in 0..dim {
-                if row & ma == 0 && row & mb == 0 {
-                    let idx = [row, row | mb, row | ma, row | ma | mb];
-                    let old = [
-                        self.data[idx[0] * dim + col],
-                        self.data[idx[1] * dim + col],
-                        self.data[idx[2] * dim + col],
-                        self.data[idx[3] * dim + col],
-                    ];
-                    for r in 0..4 {
-                        let mut acc = Complex64::ZERO;
-                        for c in 0..4 {
-                            acc += u[(r, c)] * old[c];
+    /// Two-qubit depolarising channel on `(a, b)` (`l` pre-clamped,
+    /// non-zero): one pass over the upper block triangle.
+    pub(crate) fn depol_2q(data: &mut [Complex64], dim: usize, l: f64, a: usize, b: usize) {
+        let (ma, mb, m_lo, m_hi) = sorted_masks(a, b);
+        let quarter = dim >> 2;
+        for rk in 0..quarter {
+            let i = insert_zero_bit(insert_zero_bit(rk, m_lo), m_hi);
+            let ridx = [i, i | mb, i | ma, i | ma | mb];
+            let rows = ridx.map(|r| r * dim);
+            for ck in rk..quarter {
+                let j = insert_zero_bit(insert_zero_bit(ck, m_lo), m_hi);
+                let cols = [j, j | mb, j | ma, j | ma | mb];
+                let mut blk = load4(data, &rows, &cols);
+                depol2(&mut blk, l, [0, 1, 2, 3]);
+                store4(data, &rows, &cols, &blk);
+                if ck > rk {
+                    store4_mirror(data, dim, &ridx, &cols, &blk);
+                }
+            }
+        }
+    }
+
+    /// CNOT conjugation `ρ → CX ρ CX†` as an index permutation: one pass
+    /// over the upper block triangle, mirroring the lower half (so a lone
+    /// CX leaves exactly the same bits as a fused segment containing one).
+    pub(crate) fn cx(data: &mut [Complex64], dim: usize, control: usize, target: usize) {
+        let (mc, mt, m_lo, m_hi) = sorted_masks(control, target);
+        let quarter = dim >> 2;
+        for rk in 0..quarter {
+            let i = insert_zero_bit(insert_zero_bit(rk, m_lo), m_hi);
+            let ridx = [i, i | mt, i | mc, i | mc | mt];
+            let rows = ridx.map(|r| r * dim);
+            for ck in rk..quarter {
+                let j = insert_zero_bit(insert_zero_bit(ck, m_lo), m_hi);
+                let cols = [j, j | mt, j | mc, j | mc | mt];
+                // Rows with the control bit set swap target-bit pairs …
+                for &col in &cols {
+                    data.swap(rows[2] + col, rows[3] + col);
+                }
+                // … and likewise the columns, in every row of the block.
+                for &row in &rows {
+                    data.swap(row + cols[2], row + cols[3]);
+                }
+                if ck > rk {
+                    for (c, &col) in cols.iter().enumerate() {
+                        let base = col * dim;
+                        for (r, &row) in ridx.iter().enumerate() {
+                            data[base + row] = data[rows[r] + cols[c]].conj();
                         }
-                        self.data[idx[r] * dim + col] = acc;
                     }
                 }
             }
         }
     }
 
-    /// `ρ → ρ (U_{a,b})†` for a 4×4 `u`; qubit `a` is the high local bit.
-    fn right_mul_dagger_2q(&mut self, u: &CMatrix, a: usize, b: usize) {
-        let ma = 1usize << a;
-        let mb = 1usize << b;
-        let dim = self.dim;
-        for row in 0..dim {
-            let base = row * dim;
-            for col in 0..dim {
-                if col & ma == 0 && col & mb == 0 {
-                    let idx = [col, col | mb, col | ma, col | ma | mb];
-                    let old = [
-                        self.data[base + idx[0]],
-                        self.data[base + idx[1]],
-                        self.data[base + idx[2]],
-                        self.data[base + idx[3]],
-                    ];
-                    for c in 0..4 {
-                        let mut acc = Complex64::ZERO;
-                        for k in 0..4 {
-                            // (ρU†)[r, c] = Σ_k ρ[r, k] · conj(U[c, k])
-                            acc += old[k] * u[(c, k)].conj();
-                        }
-                        self.data[base + idx[c]] = acc;
+    /// Accumulates `Σ_k K_k ρ K_k†` for 2×2 Kraus operators on qubit `q`
+    /// into `acc` (reading `src` untouched), upper block triangle +
+    /// mirror.
+    pub(crate) fn channel_accumulate_1q(
+        src: &[Complex64],
+        acc: &mut [Complex64],
+        dim: usize,
+        ks: &[(M2, MatClass)],
+        q: usize,
+    ) {
+        let mask = 1usize << q;
+        let half = dim >> 1;
+        for rk in 0..half {
+            let r0 = insert_zero_bit(rk, mask);
+            let r1 = r0 | mask;
+            let (base0, base1) = (r0 * dim, r1 * dim);
+            for ck in rk..half {
+                let c0 = insert_zero_bit(ck, mask);
+                let c1 = c0 | mask;
+                let blk = load2(src, base0, base1, c0, c1);
+                let mut tot = [Complex64::ZERO; 4];
+                for (k, class) in ks {
+                    let term = conj2(blk, k, *class);
+                    for (t, v) in tot.iter_mut().zip(term.iter()) {
+                        *t += *v;
                     }
+                }
+                store2(acc, base0, base1, c0, c1, tot);
+                if ck > rk {
+                    store2_mirror(acc, dim, r0, r1, c0, c1, tot);
+                }
+            }
+        }
+    }
+
+    /// Accumulates `Σ_k K_k ρ K_k†` for 4×4 Kraus operators on `(a, b)`
+    /// into `acc` (reading `src` untouched), upper block triangle +
+    /// mirror.
+    pub(crate) fn channel_accumulate_2q(
+        src: &[Complex64],
+        acc: &mut [Complex64],
+        dim: usize,
+        ks: &[M4],
+        a: usize,
+        b: usize,
+    ) {
+        let (ma, mb, m_lo, m_hi) = sorted_masks(a, b);
+        let quarter = dim >> 2;
+        for rk in 0..quarter {
+            let i = insert_zero_bit(insert_zero_bit(rk, m_lo), m_hi);
+            let ridx = [i, i | mb, i | ma, i | ma | mb];
+            let rows = ridx.map(|r| r * dim);
+            for ck in rk..quarter {
+                let j = insert_zero_bit(insert_zero_bit(ck, m_lo), m_hi);
+                let cols = [j, j | mb, j | ma, j | ma | mb];
+                let blk = load4(src, &rows, &cols);
+                let mut tot = [Complex64::ZERO; 16];
+                for k in ks {
+                    let mut term = blk;
+                    conj4(&mut term, k, [0, 1, 2, 3]);
+                    for (t, v) in tot.iter_mut().zip(term.iter()) {
+                        *t += *v;
+                    }
+                }
+                store4(acc, &rows, &cols, &tot);
+                if ck > rk {
+                    store4_mirror(acc, dim, &ridx, &cols, &tot);
                 }
             }
         }

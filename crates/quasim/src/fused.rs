@@ -1,0 +1,604 @@
+//! Fused density-matrix programs: runs of operations sharing a one- or
+//! two-qubit support, executed block-by-block in a single pass over `ρ`.
+//!
+//! # Why fusion helps
+//!
+//! Every unitary conjugation `ρ → UρU†` and every closed-form depolarising
+//! channel touches all `D²` entries of the density matrix, but a one-qubit
+//! op only *couples* entries within `2×2` blocks (rows/columns paired along
+//! the qubit's bit), and a two-qubit op within `4×4` blocks. A fused
+//! [`Segment`] — a run of consecutive operations sharing one support, such
+//! as a native gate followed by its calibration-noise channel, or a string
+//! of encoding rotations on one wire — loads each block into registers
+//! **once**, applies every atom in order, and stores it back: one memory
+//! pass for the whole run. Matrices are *prebound* when the program is
+//! built (fixed gates once per process, see
+//! [`crate::gate::GateKind::fixed_entries_1q`]) and classified
+//! ([`MatClass`]) so the kernels can use cheaper conjugation paths, and
+//! the blocked kernels exploit `ρ`'s Hermitian symmetry (see
+//! `quasim::density::kernels`).
+//!
+//! # Bit-identity
+//!
+//! Fused execution is **bit-identical** to applying the same operations
+//! one by one through [`crate::density::DensityMatrix`]: atoms are never
+//! reordered, segments only group *consecutive* ops with the **same**
+//! support — so every atom sees exactly the triangle geometry and scalar
+//! expression sequence of its standalone kernel — and prebinding changes
+//! no bits because binding is a pure function of the gate.
+//!
+//! Programs are built with [`ProgramBuilder`] (usually via the
+//! `transpile::fuse` pass) and executed with
+//! [`crate::density::SimWorkspace::run`] or
+//! [`crate::density::DensityMatrix::apply_fused`].
+
+use crate::density::kernels;
+use crate::math::Complex64;
+pub use crate::math::{M2, M4};
+
+/// Structural class of a 2×2 matrix, detected once at program build time
+/// so the kernels can use specialised conjugation paths (real matrices —
+/// `RY`, `H`, Paulis — and diagonal matrices — `RZ`, phases — dominate the
+/// transpiled circuits and cost roughly half the arithmetic of the general
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatClass {
+    /// No exploitable structure.
+    General,
+    /// All entries have zero imaginary part.
+    Real,
+    /// Off-diagonal entries are exactly zero.
+    Diagonal,
+}
+
+/// Classifies a 2×2 matrix for kernel specialisation.
+pub fn classify2(m: &M2) -> MatClass {
+    if m.iter().all(|z| z.im == 0.0) {
+        MatClass::Real
+    } else if m[1] == Complex64::ZERO && m[2] == Complex64::ZERO {
+        MatClass::Diagonal
+    } else {
+        MatClass::General
+    }
+}
+
+/// Which wire of a segment's support an atom acts on (`A` is the first /
+/// most significant local bit, matching the two-qubit matrix convention of
+/// [`crate::gate::GateKind::matrix`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wire {
+    /// The segment's first support qubit.
+    A,
+    /// The segment's second support qubit.
+    B,
+}
+
+/// One fusible operation inside a segment.
+///
+/// Matrix payloads are indices into the program's prebound matrix tables,
+/// keeping atoms small and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedAtom {
+    /// 2×2 unitary conjugation (one-qubit segments only).
+    Unitary1 {
+        /// Index into the program's 2×2 matrix table.
+        m2: u32,
+        /// Structural class of the matrix (detected at build time).
+        class: MatClass,
+    },
+    /// Closed-form one-qubit depolarising channel (`λ` pre-clamped,
+    /// non-zero; one-qubit segments only).
+    Depol1 {
+        /// Depolarising strength in `(0, 1]`.
+        lambda: f64,
+    },
+    /// CNOT with the given control wire (target is the other wire).
+    Cx {
+        /// Control wire.
+        control: Wire,
+    },
+    /// 4×4 unitary conjugation on both wires.
+    Unitary2 {
+        /// Index into the program's 4×4 matrix table.
+        m4: u32,
+        /// Whether the atom's own qubit order is `(B, A)` rather than the
+        /// segment's `(A, B)`.
+        swapped: bool,
+    },
+    /// Closed-form two-qubit depolarising channel (`λ` pre-clamped,
+    /// non-zero).
+    Depol2 {
+        /// Depolarising strength in `(0, 1]`.
+        lambda: f64,
+        /// Whether the atom's own qubit order is `(B, A)`.
+        swapped: bool,
+    },
+}
+
+/// A segment's qubit support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// All atoms act on this single qubit.
+    One(usize),
+    /// Atoms act within this ordered qubit pair (first = wire `A`).
+    Two(usize, usize),
+}
+
+/// A maximal run of consecutive atoms sharing a support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    support: Support,
+    atoms: std::ops::Range<usize>,
+}
+
+impl Segment {
+    /// The segment's support.
+    pub fn support(&self) -> Support {
+        self.support
+    }
+
+    /// Number of fused atoms in this segment.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the segment is empty (never produced by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+/// A compiled, prebound, fusion-grouped density-matrix program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedProgram {
+    n_qubits: usize,
+    segments: Vec<Segment>,
+    atoms: Vec<FusedAtom>,
+    m2s: Vec<M2>,
+    m4s: Vec<M4>,
+}
+
+impl FusedProgram {
+    /// Number of qubits the program addresses.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The fused segments in execution order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total number of atoms across all segments.
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Executes the program in place on flat row-major storage of dimension
+    /// `dim = 2^n_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != dim * dim` with `dim = 2^n_qubits`.
+    pub fn run_on(&self, data: &mut [Complex64]) {
+        let dim = 1usize << self.n_qubits;
+        assert_eq!(data.len(), dim * dim, "storage size mismatch");
+        for seg in &self.segments {
+            let atoms = &self.atoms[seg.atoms.clone()];
+            match seg.support {
+                Support::One(q) => run_1q_segment(data, dim, q, atoms, &self.m2s),
+                Support::Two(a, b) => run_2q_segment(data, dim, a, b, atoms, &self.m4s),
+            }
+        }
+    }
+}
+
+/// Incremental builder performing the greedy fusion grouping.
+///
+/// Operations pushed in program order are appended to the currently open
+/// segment when their support equals the segment's (two-qubit pairs match
+/// in either order); any support change flushes the segment and opens a
+/// new one. Atoms are never reordered, so execution is bit-identical to
+/// the unfused sequence.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    n_qubits: usize,
+    segments: Vec<Segment>,
+    atoms: Vec<FusedAtom>,
+    m2s: Vec<M2>,
+    m4s: Vec<M4>,
+    open: Option<(Support, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for `n_qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or greater than 12.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!((1..=12).contains(&n_qubits), "unsupported qubit count");
+        ProgramBuilder {
+            n_qubits,
+            segments: Vec::new(),
+            atoms: Vec::new(),
+            m2s: Vec::new(),
+            m4s: Vec::new(),
+            open: None,
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some((support, start)) = self.open.take() {
+            if start < self.atoms.len() {
+                self.segments.push(Segment {
+                    support,
+                    atoms: start..self.atoms.len(),
+                });
+            }
+        }
+    }
+
+    /// Ensures the open segment is exactly the one-qubit support `{q}`.
+    ///
+    /// Fusion only ever groups operations with the **same** support: a run
+    /// executes block-by-block with the support's own triangle geometry,
+    /// which keeps the fused result bit-identical to op-by-op execution.
+    /// (Nesting a one-qubit op into a two-qubit segment would change which
+    /// Hermitian mirror elements are derived versus computed, and with it
+    /// the low-order bits.)
+    fn align_one(&mut self, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        match self.open {
+            Some((Support::One(a), _)) if a == q => {}
+            _ => {
+                self.flush();
+                self.open = Some((Support::One(q), self.atoms.len()));
+            }
+        }
+    }
+
+    /// Ensures the open segment covers exactly the unordered pair
+    /// `{x, y}`; returns whether `(x, y)` is swapped relative to the
+    /// segment's support order.
+    fn align_two(&mut self, x: usize, y: usize) -> bool {
+        assert!(x < self.n_qubits && y < self.n_qubits, "qubit out of range");
+        assert_ne!(x, y, "qubits must be distinct");
+        match self.open {
+            Some((Support::Two(a, b), _)) if (a, b) == (x, y) => false,
+            Some((Support::Two(a, b), _)) if (a, b) == (y, x) => true,
+            _ => {
+                self.flush();
+                self.open = Some((Support::Two(x, y), self.atoms.len()));
+                false
+            }
+        }
+    }
+
+    /// Appends a prebound 2×2 unitary on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn unitary_1q(&mut self, q: usize, m: M2) {
+        self.align_one(q);
+        let class = classify2(&m);
+        let m2 = self.m2s.len() as u32;
+        self.m2s.push(m);
+        self.atoms.push(FusedAtom::Unitary1 { m2, class });
+    }
+
+    /// Appends a one-qubit depolarising channel on `q` (`λ` clamped to
+    /// `[0, 1]`; a resulting `λ = 0` is an exact no-op and is dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn depolarize_1q(&mut self, q: usize, lambda: f64) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let l = lambda.clamp(0.0, 1.0);
+        if l == 0.0 {
+            return;
+        }
+        self.align_one(q);
+        self.atoms.push(FusedAtom::Depol1 { lambda: l });
+    }
+
+    /// Appends a CNOT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn cx(&mut self, control: usize, target: usize) {
+        let swapped = self.align_two(control, target);
+        self.atoms.push(FusedAtom::Cx {
+            control: if swapped { Wire::B } else { Wire::A },
+        });
+    }
+
+    /// Appends a prebound 4×4 unitary on the ordered pair
+    /// `(first, second)`; `first` is the most significant local bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn unitary_2q(&mut self, first: usize, second: usize, m: M4) {
+        let swapped = self.align_two(first, second);
+        let m4 = self.m4s.len() as u32;
+        self.m4s.push(m);
+        self.atoms.push(FusedAtom::Unitary2 { m4, swapped });
+    }
+
+    /// Appends a two-qubit depolarising channel (`λ` clamped; `λ = 0`
+    /// dropped as an exact no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn depolarize_2q(&mut self, lambda: f64, first: usize, second: usize) {
+        assert!(
+            first < self.n_qubits && second < self.n_qubits,
+            "qubit out of range"
+        );
+        assert_ne!(first, second, "qubits must be distinct");
+        let l = lambda.clamp(0.0, 1.0);
+        if l == 0.0 {
+            return;
+        }
+        let swapped = self.align_two(first, second);
+        self.atoms.push(FusedAtom::Depol2 { lambda: l, swapped });
+    }
+
+    /// Finalises the program.
+    pub fn finish(mut self) -> FusedProgram {
+        self.flush();
+        FusedProgram {
+            n_qubits: self.n_qubits,
+            segments: self.segments,
+            atoms: self.atoms,
+            m2s: self.m2s,
+            m4s: self.m4s,
+        }
+    }
+}
+
+/// Canonical-index map for an atom's own quartet order: identity when the
+/// atom's qubit order matches the segment support, bit-swap otherwise.
+#[inline]
+fn quartet_map(swapped: bool) -> [usize; 4] {
+    if swapped {
+        [0, 2, 1, 3]
+    } else {
+        [0, 1, 2, 3]
+    }
+}
+
+/// Applies a chain of one-qubit atoms to a 2×2 block in registers.
+#[inline(always)]
+fn chain_1q(mut blk: [Complex64; 4], atoms: &[FusedAtom], m2s: &[M2]) -> [Complex64; 4] {
+    for atom in atoms {
+        match *atom {
+            FusedAtom::Unitary1 { m2, class } => {
+                blk = kernels::conj2(blk, &m2s[m2 as usize], class);
+            }
+            FusedAtom::Depol1 { lambda } => blk = kernels::depol1(blk, lambda),
+            _ => unreachable!("two-qubit atom in one-qubit segment"),
+        }
+    }
+    blk
+}
+
+/// Single pass applying a run of one-qubit atoms on qubit `q` over the
+/// upper block triangle of `ρ`, mirroring the lower half (Hermitian
+/// symmetry; same walk and helpers as `quasim::density::kernels`).
+fn run_1q_segment(data: &mut [Complex64], dim: usize, q: usize, atoms: &[FusedAtom], m2s: &[M2]) {
+    let mask = 1usize << q;
+    let half = dim >> 1;
+    for rk in 0..half {
+        let r0 = kernels::insert_zero_bit(rk, mask);
+        let r1 = r0 | mask;
+        let (base0, base1) = (r0 * dim, r1 * dim);
+        // Diagonal block.
+        let blk = chain_1q(kernels::load2(data, base0, base1, r0, r1), atoms, m2s);
+        kernels::store2(data, base0, base1, r0, r1, blk);
+        for ck in rk + 1..half {
+            let c0 = kernels::insert_zero_bit(ck, mask);
+            let c1 = c0 | mask;
+            let blk = chain_1q(kernels::load2(data, base0, base1, c0, c1), atoms, m2s);
+            kernels::store2(data, base0, base1, c0, c1, blk);
+            kernels::store2_mirror(data, dim, r0, r1, c0, c1, blk);
+        }
+    }
+}
+
+/// Applies a chain of two-qubit atoms to a 4×4 block in registers.
+#[inline(always)]
+fn chain_2q(blk: &mut [Complex64; 16], atoms: &[FusedAtom], m4s: &[M4]) {
+    for atom in atoms {
+        match *atom {
+            FusedAtom::Cx { control } => {
+                kernels::cx_block(blk, control == Wire::A);
+            }
+            FusedAtom::Unitary2 { m4, swapped } => {
+                kernels::conj4(blk, &m4s[m4 as usize], quartet_map(swapped));
+            }
+            FusedAtom::Depol2 { lambda, swapped } => {
+                kernels::depol2(blk, lambda, quartet_map(swapped));
+            }
+            _ => unreachable!("one-qubit atom in two-qubit segment"),
+        }
+    }
+}
+
+/// Single pass applying a run of atoms supported on the qubit pair
+/// `(a, b)` over the upper block triangle of `ρ`, mirroring the lower
+/// half. `a` is the most significant local bit of the 4×4 blocks.
+fn run_2q_segment(
+    data: &mut [Complex64],
+    dim: usize,
+    a: usize,
+    b: usize,
+    atoms: &[FusedAtom],
+    m4s: &[M4],
+) {
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let (m_lo, m_hi) = if ma < mb { (ma, mb) } else { (mb, ma) };
+    let quarter = dim >> 2;
+    for rk in 0..quarter {
+        let i = kernels::insert_zero_bit(kernels::insert_zero_bit(rk, m_lo), m_hi);
+        let ridx = [i, i | mb, i | ma, i | ma | mb];
+        let rows = ridx.map(|r| r * dim);
+        for ck in rk..quarter {
+            let j = kernels::insert_zero_bit(kernels::insert_zero_bit(ck, m_lo), m_hi);
+            let cols = [j, j | mb, j | ma, j | ma | mb];
+            let mut blk = kernels::load4(data, &rows, &cols);
+            chain_2q(&mut blk, atoms, m4s);
+            kernels::store4(data, &rows, &cols, &blk);
+            if ck > rk {
+                kernels::store4_mirror(data, dim, &ridx, &cols, &blk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+    use crate::gate::{BoundGate, GateKind};
+
+    fn assert_rho_bits_eq(a: &DensityMatrix, b: &DensityMatrix) {
+        for i in 0..a.dim() {
+            for j in 0..a.dim() {
+                let (x, y) = (a.get(i, j), b.get(i, j));
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "ρ[{i},{j}] differs: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_groups_consecutive_same_wire_ops() {
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.depolarize_1q(0, 0.1);
+        b.unitary_1q(0, GateKind::Ry.matrix(0.4).to_2x2().unwrap());
+        b.unitary_1q(1, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        let p = b.finish();
+        assert_eq!(p.segments().len(), 2);
+        assert_eq!(p.segments()[0].len(), 3);
+        assert_eq!(p.segments()[0].support(), Support::One(0));
+        assert_eq!(p.segments()[1].support(), Support::One(1));
+    }
+
+    #[test]
+    fn builder_fuses_gate_with_its_channel() {
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(1, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.cx(0, 1);
+        b.depolarize_2q(0.05, 0, 1); // fuses with the CX (same pair)
+        b.cx(1, 0);
+        b.depolarize_2q(0.05, 1, 0); // reversed order still fuses
+        b.unitary_1q(0, GateKind::X.matrix(0.0).to_2x2().unwrap());
+        let p = b.finish();
+        assert_eq!(p.segments().len(), 3);
+        assert_eq!(p.segments()[0].support(), Support::One(1));
+        assert_eq!(p.segments()[1].support(), Support::Two(0, 1));
+        assert_eq!(p.segments()[1].len(), 4);
+        assert_eq!(p.segments()[2].support(), Support::One(0));
+        assert_eq!(p.n_atoms(), 6);
+    }
+
+    #[test]
+    fn zero_lambda_channels_are_dropped() {
+        let mut b = ProgramBuilder::new(2);
+        b.depolarize_1q(0, 0.0);
+        b.depolarize_2q(-3.0, 0, 1); // clamps to 0
+        let p = b.finish();
+        assert_eq!(p.n_atoms(), 0);
+        assert!(p.segments().is_empty());
+    }
+
+    #[test]
+    fn fused_cry_decomposition_matches_unfused_bits() {
+        // The native expansion of a noisy CRY: CX · dep2 · RY(−θ/2) · dep1 ·
+        // CX · dep2 · RY(θ/2) · dep1 — one fused segment, bit-identical to
+        // the DensityMatrix op-by-op path.
+        let theta: f64 = 1.234;
+        let prep = [
+            BoundGate::one(GateKind::H, 0, 0.0),
+            BoundGate::one(GateKind::Ry, 1, 0.8),
+            BoundGate::one(GateKind::Rz, 2, -0.3),
+        ];
+
+        let mut reference = DensityMatrix::zero_state(3);
+        for g in &prep {
+            reference.apply_gate(g);
+        }
+        reference.apply_cx(0, 1);
+        reference.apply_depolarizing_2q(0.04, 0, 1);
+        reference.apply_unitary_1q(&GateKind::Ry.matrix(-theta / 2.0), 1);
+        reference.apply_depolarizing_1q(0.01, 1);
+        reference.apply_cx(0, 1);
+        reference.apply_depolarizing_2q(0.04, 0, 1);
+        reference.apply_unitary_1q(&GateKind::Ry.matrix(theta / 2.0), 1);
+        reference.apply_depolarizing_1q(0.01, 1);
+
+        let mut b = ProgramBuilder::new(3);
+        for g in &prep {
+            b.unitary_1q(g.qubits()[0], g.matrix().to_2x2().unwrap());
+        }
+        b.cx(0, 1);
+        b.depolarize_2q(0.04, 0, 1);
+        b.unitary_1q(1, GateKind::Ry.matrix(-theta / 2.0).to_2x2().unwrap());
+        b.depolarize_1q(1, 0.01);
+        b.cx(0, 1);
+        b.depolarize_2q(0.04, 0, 1);
+        b.unitary_1q(1, GateKind::Ry.matrix(theta / 2.0).to_2x2().unwrap());
+        b.depolarize_1q(1, 0.01);
+        let p = b.finish();
+        // Each CX fuses with its following channel, each rotation with its
+        // channel; the prep is three 1q segments.
+        assert_eq!(p.segments().len(), 7);
+
+        let mut fused = DensityMatrix::zero_state(3);
+        fused.apply_fused(&p);
+        assert_rho_bits_eq(&fused, &reference);
+    }
+
+    #[test]
+    fn swapped_2q_atoms_match_unfused_bits() {
+        let u = GateKind::Crz.matrix(0.9);
+        let mut reference = DensityMatrix::zero_state(3);
+        reference.apply_unitary_1q(&GateKind::H.matrix(0.0), 0);
+        reference.apply_unitary_1q(&GateKind::H.matrix(0.0), 2);
+        reference.apply_unitary_2q(&u, 0, 2);
+        reference.apply_unitary_2q(&u, 2, 0);
+        reference.apply_depolarizing_2q(0.07, 2, 0);
+
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.unitary_1q(2, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.unitary_2q(0, 2, u.to_4x4().unwrap());
+        b.unitary_2q(2, 0, u.to_4x4().unwrap());
+        b.depolarize_2q(0.07, 2, 0);
+        let p = b.finish();
+        // H(0) and H(2) are separate 1q runs; all three 2q ops share the
+        // unordered pair {0, 2} and fuse, the reversed ones via `swapped`.
+        assert_eq!(p.segments().len(), 3);
+
+        let mut fused = DensityMatrix::zero_state(3);
+        fused.apply_fused(&p);
+        assert_rho_bits_eq(&fused, &reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_bad_qubit() {
+        let mut b = ProgramBuilder::new(2);
+        b.unitary_1q(5, [Complex64::ONE; 4]);
+    }
+}

@@ -5,7 +5,8 @@
 //! parameterised rotations that carry QNN weights, and the controlled
 //! rotations from the paper's VQC block (`4RY + 4CRY + ...`).
 
-use crate::math::{CMatrix, Complex64};
+use crate::math::{CMatrix, Complex64, M2, M4};
+use std::sync::OnceLock;
 
 /// The gate alphabet.
 ///
@@ -127,113 +128,135 @@ impl GateKind {
     /// the **first** qubit is the control and occupies the *most significant*
     /// bit of the 2-bit index (row/col index = `control*2 + target`).
     pub fn matrix(self, theta: f64) -> CMatrix {
+        match self.arity() {
+            1 => CMatrix::from_slice(2, &self.entries_1q(theta).expect("one-qubit kind")),
+            _ => CMatrix::from_slice(4, &self.entries_2q(theta).expect("two-qubit kind")),
+        }
+    }
+
+    /// The 2×2 unitary entries of a one-qubit kind, computed without heap
+    /// allocation; `None` for two-qubit kinds. Bit-identical to
+    /// [`GateKind::matrix`] (which is built on top of this).
+    pub fn entries_1q(self, theta: f64) -> Option<M2> {
         let c = Complex64::real((theta / 2.0).cos());
         let s = (theta / 2.0).sin();
         let isin = Complex64::new(0.0, -s);
-        match self {
-            GateKind::X => CMatrix::from_real(2, &[0.0, 1.0, 1.0, 0.0]),
-            GateKind::Y => CMatrix::from_slice(
-                2,
-                &[
-                    Complex64::ZERO,
-                    Complex64::new(0.0, -1.0),
-                    Complex64::I,
-                    Complex64::ZERO,
-                ],
-            ),
-            GateKind::Z => CMatrix::from_real(2, &[1.0, 0.0, 0.0, -1.0]),
+        let zero = Complex64::ZERO;
+        let one = Complex64::ONE;
+        Some(match self {
+            GateKind::X => [zero, one, one, zero],
+            GateKind::Y => [zero, Complex64::new(0.0, -1.0), Complex64::I, zero],
+            GateKind::Z => [one, zero, zero, Complex64::real(-1.0)],
             GateKind::H => {
                 let h = 1.0 / 2.0_f64.sqrt();
-                CMatrix::from_real(2, &[h, h, h, -h])
+                [
+                    Complex64::real(h),
+                    Complex64::real(h),
+                    Complex64::real(h),
+                    Complex64::real(-h),
+                ]
             }
-            GateKind::S => CMatrix::from_slice(
-                2,
-                &[
-                    Complex64::ONE,
-                    Complex64::ZERO,
-                    Complex64::ZERO,
-                    Complex64::I,
-                ],
-            ),
-            GateKind::T => CMatrix::from_slice(
-                2,
-                &[
-                    Complex64::ONE,
-                    Complex64::ZERO,
-                    Complex64::ZERO,
-                    Complex64::cis(std::f64::consts::FRAC_PI_4),
-                ],
-            ),
+            GateKind::S => [one, zero, zero, Complex64::I],
+            GateKind::T => [one, zero, zero, Complex64::cis(std::f64::consts::FRAC_PI_4)],
             GateKind::Sx => {
                 let a = Complex64::new(0.5, 0.5);
                 let b = Complex64::new(0.5, -0.5);
-                CMatrix::from_slice(2, &[a, b, b, a])
+                [a, b, b, a]
             }
-            GateKind::Rx => CMatrix::from_slice(2, &[c, isin, isin, c]),
-            GateKind::Ry => {
-                CMatrix::from_slice(2, &[c, Complex64::real(-s), Complex64::real(s), c])
-            }
-            GateKind::Rz => CMatrix::from_slice(
-                2,
-                &[
-                    Complex64::cis(-theta / 2.0),
-                    Complex64::ZERO,
-                    Complex64::ZERO,
-                    Complex64::cis(theta / 2.0),
-                ],
-            ),
-            GateKind::Phase => CMatrix::from_slice(
-                2,
-                &[
-                    Complex64::ONE,
-                    Complex64::ZERO,
-                    Complex64::ZERO,
-                    Complex64::cis(theta),
-                ],
-            ),
-            GateKind::Cx => CMatrix::from_real(
-                4,
-                &[
-                    1.0, 0.0, 0.0, 0.0, //
-                    0.0, 1.0, 0.0, 0.0, //
-                    0.0, 0.0, 0.0, 1.0, //
-                    0.0, 0.0, 1.0, 0.0,
-                ],
-            ),
-            GateKind::Cz => CMatrix::from_real(
-                4,
-                &[
-                    1.0, 0.0, 0.0, 0.0, //
-                    0.0, 1.0, 0.0, 0.0, //
-                    0.0, 0.0, 1.0, 0.0, //
-                    0.0, 0.0, 0.0, -1.0,
-                ],
-            ),
+            GateKind::Rx => [c, isin, isin, c],
+            GateKind::Ry => [c, Complex64::real(-s), Complex64::real(s), c],
+            GateKind::Rz => [
+                Complex64::cis(-theta / 2.0),
+                zero,
+                zero,
+                Complex64::cis(theta / 2.0),
+            ],
+            GateKind::Phase => [one, zero, zero, Complex64::cis(theta)],
+            _ => return None,
+        })
+    }
+
+    /// The 4×4 unitary entries of a two-qubit kind, computed without heap
+    /// allocation; `None` for one-qubit kinds. Bit-identical to
+    /// [`GateKind::matrix`] (which is built on top of this).
+    pub fn entries_2q(self, theta: f64) -> Option<M4> {
+        let z = Complex64::ZERO;
+        let o = Complex64::ONE;
+        Some(match self {
+            GateKind::Cx => [
+                o, z, z, z, //
+                z, o, z, z, //
+                z, z, z, o, //
+                z, z, o, z,
+            ],
+            GateKind::Cz => [
+                o,
+                z,
+                z,
+                z, //
+                z,
+                o,
+                z,
+                z, //
+                z,
+                z,
+                o,
+                z, //
+                z,
+                z,
+                z,
+                Complex64::real(-1.0),
+            ],
             GateKind::Crx | GateKind::Cry | GateKind::Crz => {
                 let base = match self {
                     GateKind::Crx => GateKind::Rx,
                     GateKind::Cry => GateKind::Ry,
                     _ => GateKind::Rz,
                 }
-                .matrix(theta);
-                let mut m = CMatrix::identity(4);
+                .entries_1q(theta)
+                .expect("rotation kinds are one-qubit");
+                let mut m = [z; 16];
+                for i in 0..4 {
+                    m[i * 4 + i] = o;
+                }
                 for i in 0..2 {
                     for j in 0..2 {
-                        m[(2 + i, 2 + j)] = base[(i, j)];
+                        m[(2 + i) * 4 + (2 + j)] = base[i * 2 + j];
                     }
                 }
                 m
             }
-            GateKind::Swap => CMatrix::from_real(
-                4,
-                &[
-                    1.0, 0.0, 0.0, 0.0, //
-                    0.0, 0.0, 1.0, 0.0, //
-                    0.0, 1.0, 0.0, 0.0, //
-                    0.0, 0.0, 0.0, 1.0,
-                ],
-            ),
-        }
+            GateKind::Swap => [
+                o, z, z, z, //
+                z, z, o, z, //
+                z, o, z, z, //
+                z, z, z, o,
+            ],
+            _ => return None,
+        })
+    }
+
+    /// Prebound 2×2 entries of the non-parameterised one-qubit kinds,
+    /// computed **once per process** and cached. `None` for parameterised
+    /// or two-qubit kinds.
+    ///
+    /// The fusion pass uses this so fixed gates (notably the `H` wraps of
+    /// `CRX` decompositions) are bound once instead of re-derived for every
+    /// sample's circuit.
+    pub fn fixed_entries_1q(self) -> Option<&'static M2> {
+        const KINDS: [GateKind; 7] = [
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::H,
+            GateKind::S,
+            GateKind::T,
+            GateKind::Sx,
+        ];
+        static CACHE: OnceLock<[M2; 7]> = OnceLock::new();
+        let idx = KINDS.iter().position(|&k| k == self)?;
+        let cache = CACHE.get_or_init(|| KINDS.map(|k| k.entries_1q(0.0).expect("fixed 1q kind")));
+        Some(&cache[idx])
     }
 }
 

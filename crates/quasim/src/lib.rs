@@ -10,7 +10,11 @@
 //! - [`statevector`]: noise-free pure-state simulation (the paper's
 //!   "perfect environment" `Wp(θ)`);
 //! - [`density`]: dense density-matrix simulation with Kraus noise channels
-//!   (the noisy environment `Wn(θ)`);
+//!   (the noisy environment `Wn(θ)`), built on zero-allocation blocked
+//!   kernels and a reusable [`density::SimWorkspace`];
+//! - [`fused`]: fused density-matrix programs — runs of operations sharing
+//!   a one- or two-qubit support executed in a single pass over `ρ`,
+//!   bit-identical to op-by-op application;
 //! - [`noise`]: depolarising / flip / damping channels and classical readout
 //!   confusion, mirroring Qiskit Aer's calibration-driven device model.
 //!
@@ -41,12 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod density;
+pub mod fused;
 pub mod gate;
 pub mod math;
 pub mod noise;
 pub mod statevector;
 
-pub use density::DensityMatrix;
+pub use density::{DensityMatrix, SimWorkspace};
+pub use fused::{FusedProgram, ProgramBuilder};
 pub use gate::{BoundGate, GateKind};
 pub use math::{CMatrix, Complex64};
 pub use noise::{KrausChannel, ReadoutError};

@@ -197,6 +197,17 @@ impl Neg for Complex64 {
     }
 }
 
+/// Prebound row-major entries of a 2×2 complex matrix.
+///
+/// The inline fixed-size form the fused density-matrix kernels consume;
+/// see [`CMatrix::to_2x2`].
+pub type M2 = [Complex64; 4];
+
+/// Prebound row-major entries of a 4×4 complex matrix.
+///
+/// See [`CMatrix::to_4x4`].
+pub type M4 = [Complex64; 16];
+
 /// A dense, row-major complex matrix.
 ///
 /// Used for gate unitaries (2×2 and 4×4) and Kraus operators. Not intended
@@ -270,6 +281,26 @@ impl CMatrix {
     #[inline]
     pub fn as_slice(&self) -> &[Complex64] {
         &self.data
+    }
+
+    /// The entries as an inline 2×2 array, if the matrix is 2×2.
+    pub fn to_2x2(&self) -> Option<M2> {
+        if self.dim != 2 {
+            return None;
+        }
+        let mut out = [Complex64::ZERO; 4];
+        out.copy_from_slice(&self.data);
+        Some(out)
+    }
+
+    /// The entries as an inline 4×4 array, if the matrix is 4×4.
+    pub fn to_4x4(&self) -> Option<M4> {
+        if self.dim != 4 {
+            return None;
+        }
+        let mut out = [Complex64::ZERO; 16];
+        out.copy_from_slice(&self.data);
+        Some(out)
     }
 
     /// Matrix product `self * rhs`.

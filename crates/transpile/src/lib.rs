@@ -9,7 +9,11 @@
 //!   qubits — the association `A(g_i)` the paper's noise-aware mask needs;
 //! - [`expand`]: native-gate expansion with pulse-cost accounting, which is
 //!   where compression levels (`0, π/2, π, 3π/2`) translate into shorter,
-//!   less noisy physical circuits.
+//!   less noisy physical circuits;
+//! - [`fuse`]: the gate-fusion pass compiling native circuits (plus their
+//!   calibration-noise interleave) into prebound
+//!   [`quasim::fused::FusedProgram`]s, which the density-matrix kernels
+//!   execute in single passes — bit-identical to unfused execution.
 //!
 //! # Examples
 //!
@@ -31,8 +35,10 @@
 
 pub mod circuit;
 pub mod expand;
+pub mod fuse;
 pub mod route;
 
 pub use circuit::{Circuit, Op, Param};
 pub use expand::{expand, NativeCircuit, NativeOp};
+pub use fuse::{fuse_gates, fuse_native, fuse_native_compacted, fuse_ops, QubitCompaction, SimOp};
 pub use route::{route, route_identity, with_fixed_params, PhysicalCircuit};
