@@ -1,0 +1,119 @@
+//! **Guadalupe scenario**: per-day noisy evaluation of a 16-qubit VQC on
+//! the `ibm_guadalupe` heavy-hexagon device — a register the dense
+//! density-matrix engine structurally cannot simulate
+//! (`quasim::density::MAX_DENSITY_QUBITS = 12`), and therefore the
+//! flagship workload of the Monte-Carlo trajectory backend.
+//!
+//! The run builds a 16-qubit paper-style ansatz (encoder + one VQC block),
+//! routes it onto guadalupe's coupling map, and evaluates per-day accuracy
+//! of a fixed weight vector over a fluctuating calibration history with
+//! the trajectory engine, reporting per-day accuracy and trajectory
+//! throughput. The point is *engine reach and speed*, not model quality,
+//! so the weights are the seeded random initialisation rather than a
+//! trained model (training a 16-qubit QNN is outside this scenario's
+//! budget).
+//!
+//! Run: `cargo run --release -p qucad_bench --bin fig10_guadalupe -- \
+//!       [--scale=quick]` (QUCAD_BACKEND defaults to `trajectory` here;
+//! setting `QUCAD_BACKEND=density` exits with an explanation of the cap).
+
+use calibration::history::{FluctuatingHistory, HistoryConfig};
+use calibration::topology::Topology;
+use qnn::data::Dataset;
+use qnn::executor::{parallel, NoiseOptions, NoisyExecutor, SimBackend};
+use qnn::model::VqcModel;
+use quasim::density::MAX_DENSITY_QUBITS;
+use qucad_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_or_args();
+    // This scenario is trajectory-first: the register is wider than the
+    // density cap, so only an explicit QUCAD_BACKEND overrides the default.
+    let backend = SimBackend::from_env_or(SimBackend::Trajectory);
+
+    let topo = Topology::ibm_guadalupe();
+    let model = VqcModel::paper_model(topo.n_qubits(), 4, 16, 1);
+    println!(
+        "=== Guadalupe scenario: 16-qubit VQC under fluctuating noise \
+         (scale: {scale:?}, backend: {}) ===",
+        backend.name()
+    );
+    println!(
+        "model: {} qubits, {} weights, {} classes on {} ({} edges)",
+        model.n_qubits(),
+        model.n_weights(),
+        model.n_classes(),
+        topo.name(),
+        topo.n_edges()
+    );
+
+    if backend == SimBackend::Density {
+        eprintln!(
+            "error: the density backend is capped at {MAX_DENSITY_QUBITS} active qubits \
+             (dense rho is 4^n); this circuit touches all {} qubits of {}.\n\
+             Re-run with QUCAD_BACKEND=trajectory (the default for this binary).",
+            topo.n_qubits(),
+            topo.name()
+        );
+        std::process::exit(2);
+    }
+
+    // Evaluation budget per scale: days x samples x trajectories (one
+    // trajectory of the routed 16-qubit circuit costs tens of ms, so the
+    // quick budget keeps single-core runs under a minute).
+    let (days, samples, trajectories) = match scale {
+        Scale::Quick => (3usize, 4usize, 32u32),
+        Scale::Standard => (12, 16, 128),
+        Scale::Paper => (30, 32, 512),
+    };
+
+    let seed = 42u64;
+    let dataset = Dataset::mnist4(32, samples, seed);
+    let history =
+        FluctuatingHistory::generate(&topo, &HistoryConfig::guadalupe_like(days, seed), 0);
+    let weights = model.init_weights(seed);
+
+    let noise = NoiseOptions {
+        scale: 3.0,
+        backend,
+        trajectories,
+        ..NoiseOptions::with_shots(1024, seed)
+    };
+    let exec = NoisyExecutor::new(&model, &topo, noise);
+    println!(
+        "routed physical length (generic weights): {} (pulses + 3xCX)",
+        exec.circuit_length(&dataset.test[0].features, &weights)
+    );
+
+    let threads = parallel::worker_threads();
+    let day_refs: Vec<_> = history.online().iter().collect();
+    let eval_set = &dataset.test[..dataset.test.len().min(samples)];
+
+    let t0 = std::time::Instant::now();
+    let series = parallel::accuracy_over_days(&exec, &day_refs, eval_set, &weights, threads);
+    let elapsed = t0.elapsed();
+
+    println!();
+    println!("day  accuracy");
+    for (d, acc) in series.iter().enumerate() {
+        println!("{d:>3}  {:.3}", acc);
+    }
+    let total_traj = trajectories as u64 * eval_set.len() as u64 * day_refs.len() as u64;
+    println!();
+    println!(
+        "evaluated {} days x {} samples x {} trajectories = {} trajectories \
+         of a 2^{} state in {:.1?} ({:.0} trajectories/s, {} threads)",
+        day_refs.len(),
+        eval_set.len(),
+        trajectories,
+        total_traj,
+        model.n_qubits(),
+        elapsed,
+        total_traj as f64 / elapsed.as_secs_f64(),
+        threads
+    );
+    println!(
+        "(the density backend cannot run this scenario: 16 active qubits > \
+         MAX_DENSITY_QUBITS = {MAX_DENSITY_QUBITS})"
+    );
+}

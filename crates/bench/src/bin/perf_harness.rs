@@ -17,7 +17,7 @@
 //!       [--out-dir=DIR] [--rev=REV] [--check-against=PATH] \
 //!       [--max-regression=0.25]`
 
-use qnn::executor::{parallel, NoisyExecutor};
+use qnn::executor::{parallel, NoiseOptions, NoisyExecutor, SimBackend};
 use qucad_bench::perf::{calibration_probe_ms, compare_reports, BenchReport};
 use qucad_bench::{Experiment, Scale, Task};
 
@@ -102,7 +102,18 @@ fn main() {
 
     for exp in &experiments {
         let slug = task_slug(exp.task);
-        let exec = NoisyExecutor::new(&exp.model, &exp.topology, exp.noise);
+        // Gated sections always measure the density engine: the committed
+        // baseline is a density profile, so a QUCAD_BACKEND=trajectory
+        // environment must not silently re-point the gate at the
+        // stochastic engine (its cost scales with the trajectory budget).
+        let exec = NoisyExecutor::new(
+            &exp.model,
+            &exp.topology,
+            NoiseOptions {
+                backend: SimBackend::Density,
+                ..exp.noise
+            },
+        );
         let eval_subset =
             &exp.dataset.test[..exp.dataset.test.len().min(exp.qucad_config.eval_samples)];
         let days: Vec<_> = exp.history.online().iter().collect();
@@ -132,6 +143,31 @@ fn main() {
         report.time(&format!("noisy_z_scores_{slug}_x32"), true, || {
             for stream in 0..32u64 {
                 std::hint::black_box(exec.z_scores_seeded(
+                    features,
+                    &exp.base_weights,
+                    snap,
+                    stream,
+                ));
+            }
+        });
+
+        // Same micro section on the Monte-Carlo trajectory backend, so the
+        // two engines' throughput sits side by side in every report.
+        // Ungated: the stochastic engine has no committed baseline yet and
+        // its cost scales with the trajectory budget, not kernel speed
+        // alone.
+        let traj_exec = NoisyExecutor::new(
+            &exp.model,
+            &exp.topology,
+            NoiseOptions {
+                backend: SimBackend::Trajectory,
+                trajectories: 64,
+                ..exp.noise
+            },
+        );
+        report.time(&format!("trajectory_z_scores_{slug}_64t_x8"), false, || {
+            for stream in 0..8u64 {
+                std::hint::black_box(traj_exec.z_scores_seeded(
                     features,
                     &exp.base_weights,
                     snap,

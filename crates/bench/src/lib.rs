@@ -16,7 +16,7 @@ pub mod perf;
 use calibration::history::{FluctuatingHistory, HistoryConfig};
 use calibration::topology::Topology;
 use qnn::data::Dataset;
-use qnn::executor::NoiseOptions;
+use qnn::executor::{NoiseOptions, SimBackend};
 use qnn::model::VqcModel;
 use qnn::train::{train, Env, SpsaConfig, TrainConfig};
 use qucad::admm::AdmmConfig;
@@ -164,15 +164,20 @@ impl Experiment {
     }
 
     /// Prepares an experiment on an arbitrary topology (Fig. 8 uses
-    /// `ibm_jakarta`).
+    /// `ibm_jakarta`; the `fig10_guadalupe` scenario uses the 16-qubit
+    /// `ibm_guadalupe`, which only the trajectory backend can simulate).
     pub fn prepare_on(task: Task, scale: Scale, seed: u64, topology: Topology) -> Experiment {
         let dataset = task.dataset(scale, seed);
         let model = task.model();
         let (offline_days, online_days) = scale.days();
-        let history_cfg = if topology.name() == "ibm_jakarta" {
-            HistoryConfig::jakarta_like(offline_days + online_days, seed ^ 0xACCE55)
-        } else {
-            HistoryConfig::belem_like(offline_days + online_days, seed ^ 0xACCE55)
+        let history_cfg = match topology.name() {
+            "ibm_jakarta" => {
+                HistoryConfig::jakarta_like(offline_days + online_days, seed ^ 0xACCE55)
+            }
+            "ibm_guadalupe" => {
+                HistoryConfig::guadalupe_like(offline_days + online_days, seed ^ 0xACCE55)
+            }
+            _ => HistoryConfig::belem_like(offline_days + online_days, seed ^ 0xACCE55),
         };
         let history = FluctuatingHistory::generate(&topology, &history_cfg, offline_days);
 
@@ -269,6 +274,9 @@ impl Experiment {
                 // and this setting reproduces the paper's baseline collapse
                 // regime (see DESIGN.md).
                 scale: 3.0,
+                // Honour the QUCAD_BACKEND switch for every harness binary
+                // (density by default; trajectory unlocks wide devices).
+                backend: SimBackend::from_env(),
                 ..NoiseOptions::with_shots(1024, seed)
             },
             qucad_config,
@@ -298,11 +306,15 @@ impl Experiment {
     }
 }
 
-/// Prints a figure/table banner with scale information.
+/// Prints a figure/table banner with scale and backend information.
 pub fn banner(title: &str, scale: Scale) {
-    println!("=== {title} (scale: {scale:?}) ===");
     println!(
-        "(select scale with --scale=quick|standard|paper or QUCAD_SCALE; \
+        "=== {title} (scale: {scale:?}, backend: {}) ===",
+        SimBackend::from_env().name()
+    );
+    println!(
+        "(select scale with --scale=quick|standard|paper or QUCAD_SCALE, \
+         engine with QUCAD_BACKEND=density|trajectory; \
          paper = 243 offline + 146 online days)"
     );
     println!();

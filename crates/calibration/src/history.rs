@@ -112,6 +112,23 @@ impl HistoryConfig {
         }
     }
 
+    /// A configuration for the 16-qubit `ibm_guadalupe` (Falcon r4P).
+    /// Falcon-generation devices run cooler single-qubit gates than the
+    /// small Canary-class chips but accumulate more CNOT/readout spread
+    /// across their 16 channels, and the larger graph makes regime shifts
+    /// slightly more frequent (more independent recalibration domains).
+    pub fn guadalupe_like(n_days: usize, seed: u64) -> Self {
+        HistoryConfig {
+            single_qubit_base: 2.0e-4,
+            cnot_base: 1.1e-2,
+            readout_base: 2.0e-2,
+            channel_spread: 0.45,
+            regime_shift_prob: 0.045,
+            spike_prob: 0.025,
+            ..HistoryConfig::belem_like(n_days, seed)
+        }
+    }
+
     /// A calm configuration (little fluctuation) for tests and ablations.
     pub fn calm(n_days: usize, seed: u64) -> Self {
         HistoryConfig {

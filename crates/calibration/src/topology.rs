@@ -81,6 +81,36 @@ impl Topology {
         )
     }
 
+    /// The 16-qubit `ibm_guadalupe` heavy-hexagon map (Falcon r4P).
+    ///
+    /// Well beyond the dense density-matrix engine's reach
+    /// (`quasim::density::MAX_DENSITY_QUBITS = 12`) — circuits routed here
+    /// are the flagship workload of the Monte-Carlo trajectory backend.
+    pub fn ibm_guadalupe() -> Self {
+        Topology::new(
+            "ibm_guadalupe",
+            16,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 4),
+                (2, 3),
+                (3, 5),
+                (4, 7),
+                (5, 8),
+                (6, 7),
+                (7, 10),
+                (8, 9),
+                (8, 11),
+                (10, 12),
+                (11, 14),
+                (12, 13),
+                (12, 15),
+                (13, 14),
+            ],
+        )
+    }
+
     /// A linear chain `0−1−…−(n−1)`.
     ///
     /// # Panics
@@ -221,6 +251,23 @@ mod tests {
         assert_eq!(t.n_edges(), 6);
         assert_eq!(t.distance(0, 6), 4);
         assert_eq!(t.distance(2, 4), 4);
+    }
+
+    #[test]
+    fn guadalupe_shape() {
+        let t = Topology::ibm_guadalupe();
+        assert_eq!(t.n_qubits(), 16);
+        assert_eq!(t.n_edges(), 16);
+        // Heavy-hex: degree ≤ 3 everywhere, and the map is connected with
+        // the expected diameter corners.
+        for q in 0..16 {
+            assert!(
+                (1..=3).contains(&t.neighbors(q).len()),
+                "degree out of range at qubit {q}"
+            );
+        }
+        assert_eq!(t.distance(0, 15), 6);
+        assert_eq!(t.distance(6, 9), 8);
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! [`Method`] + [`run_method`] reproduce all six rows of Table I per
 //! dataset, recording per-day accuracy and training cost (circuit
 //! evaluations, the Fig. 7 cost proxy).
+//!
+//! Every noisy evaluation in the framework flows through the
+//! [`qnn::executor::SimBackend`] carried by [`RunContext::noise`] /
+//! [`Qucad::build_offline`]'s `noise` argument: the default exact
+//! density-matrix engine, or the Monte-Carlo trajectory engine
+//! (`QUCAD_BACKEND=trajectory` via the bench harness) for devices beyond
+//! the dense-`ρ` qubit cap. The framework logic is backend-agnostic —
+//! both engines are deterministic per `(seed, stream)` and thread-count
+//! invariant, so method comparisons stay reproducible either way.
 
 use crate::admm::{compress, AdmmConfig, CompressionOutcome};
 use crate::cluster::{kmedians_weighted_l1, performance_weights};
@@ -409,7 +418,8 @@ pub struct RunContext<'a> {
     pub model: &'a VqcModel,
     /// Device topology.
     pub topology: &'a Topology,
-    /// Noise mapping options.
+    /// Noise mapping options, including the simulation backend
+    /// ([`qnn::executor::SimBackend`]) every evaluation runs on.
     pub noise: NoiseOptions,
     /// Offline (historical) calibration days.
     pub offline: &'a [CalibrationSnapshot],

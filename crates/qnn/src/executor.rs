@@ -5,28 +5,46 @@
 //! - [`pure_z_scores`]: noise-free state-vector run of the *logical*
 //!   circuit (perfect environment);
 //! - [`NoisyExecutor`]: routes the model once onto a device topology, then
-//!   per call expands the circuit at the bound parameters and simulates the
-//!   density matrix with calibration-driven depolarising channels after
-//!   every native op, plus readout confusion on the measured qubits.
+//!   per call expands the circuit at the bound parameters and simulates it
+//!   with calibration-driven depolarising channels after every native op,
+//!   plus readout confusion on the measured qubits.
 //!
 //! The noisy path is where compression pays off: parameters at compression
 //! levels expand to fewer native ops, so fewer channels are applied.
 //!
-//! Execution goes through the fused pipeline: each call compiles the
-//! expanded circuit plus its noise interleave with [`transpile::fuse`] —
-//! prebound matrices, same-support runs collapsed into single passes — and
-//! runs it on a per-executor reusable [`SimWorkspace`], so the simulation
-//! itself performs no per-gate allocation and each worker thread allocates
-//! density-matrix storage once per run. Results are **bit-identical** to
-//! the op-by-op reference path
-//! ([`NoisyExecutor::z_scores_seeded_unfused`]), which is retained as the
-//! differential-testing oracle.
+//! # Simulation backends
+//!
+//! The noisy simulation engine is selected by [`SimBackend`] (the
+//! `QUCAD_BACKEND` environment variable via [`SimBackend::from_env`], or
+//! per-executor via [`NoiseOptions::backend`]):
+//!
+//! - [`SimBackend::Density`] (default): exact dense density-matrix
+//!   simulation. Each call compiles the expanded circuit plus its noise
+//!   interleave with [`transpile::fuse`] — prebound matrices, same-support
+//!   runs collapsed into single passes — and runs it on a per-executor
+//!   reusable [`SimWorkspace`], so the simulation itself performs no
+//!   per-gate allocation and each worker thread allocates density-matrix
+//!   storage once per run. Results are **bit-identical** to the op-by-op
+//!   reference path ([`NoisyExecutor::z_scores_seeded_unfused`]), which is
+//!   retained as the differential-testing oracle. Capped at
+//!   [`quasim::density::MAX_DENSITY_QUBITS`] active qubits.
+//! - [`SimBackend::Trajectory`]: Monte-Carlo wavefunction simulation
+//!   ([`quasim::trajectory`]). The *same* fused program is unraveled into
+//!   [`NoiseOptions::trajectories`] stochastic pure-state trajectories on a
+//!   per-executor reusable [`TrajectoryWorkspace`]; per-qubit `P(1)` is the
+//!   trajectory average, an unbiased estimate of the exact channel average
+//!   at O(2^n) per trajectory. This unlocks devices beyond the dense-`ρ`
+//!   cap, e.g. the 16-qubit `ibm_guadalupe`. The trajectory stream is
+//!   seeded from `(shot_seed, stream)` only, so results are deterministic
+//!   and identical across any thread fan-out, exactly like the density
+//!   path.
 
 use crate::model::VqcModel;
 use calibration::snapshot::CalibrationSnapshot;
 use calibration::topology::Topology;
-use quasim::density::{DensityMatrix, SimWorkspace};
+use quasim::density::{DensityMatrix, SimWorkspace, MAX_DENSITY_QUBITS};
 use quasim::statevector::StateVector;
+use quasim::trajectory::{estimate_prob_one, TrajectoryEstimate, TrajectoryWorkspace};
 use transpile::expand::{expand, NativeCircuit, NativeOp, ANGLE_TOL};
 use transpile::fuse::{fuse_native_compacted, QubitCompaction};
 use transpile::route::{route, PhysicalCircuit};
@@ -60,7 +78,82 @@ pub fn pure_z_scores(model: &VqcModel, features: &[f64], weights: &[f64]) -> Vec
         .collect()
 }
 
-/// Options controlling how calibration data maps to channel strengths.
+/// Which engine simulates the noisy circuit.
+///
+/// See the [module docs](self) for the trade-off; select globally with the
+/// `QUCAD_BACKEND` environment variable ([`SimBackend::from_env`]) or
+/// per executor via [`NoiseOptions::backend`].
+///
+/// # Examples
+///
+/// ```
+/// use qnn::executor::SimBackend;
+///
+/// assert_eq!(SimBackend::parse("trajectory"), Some(SimBackend::Trajectory));
+/// assert_eq!(SimBackend::parse("DENSITY"), Some(SimBackend::Density));
+/// assert_eq!(SimBackend::parse("qpu"), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimBackend {
+    /// Exact dense density-matrix simulation (O(4^n) per op, ≤
+    /// [`quasim::density::MAX_DENSITY_QUBITS`] active qubits).
+    #[default]
+    Density,
+    /// Monte-Carlo wavefunction (quantum-trajectory) simulation
+    /// (O(2^n) per op per trajectory, up to
+    /// [`quasim::trajectory::MAX_TRAJECTORY_QUBITS`] qubits).
+    Trajectory,
+}
+
+impl SimBackend {
+    /// Parses a backend name (case-insensitive): `density` or
+    /// `trajectory`/`traj`.
+    pub fn parse(s: &str) -> Option<SimBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "density" => Some(SimBackend::Density),
+            "trajectory" | "traj" => Some(SimBackend::Trajectory),
+            _ => None,
+        }
+    }
+
+    /// Resolves the backend from the `QUCAD_BACKEND` environment variable;
+    /// unset or empty means [`SimBackend::Density`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to an unknown name, so CI matrix typos
+    /// fail loudly instead of silently testing the wrong engine.
+    pub fn from_env() -> SimBackend {
+        SimBackend::from_env_or(SimBackend::Density)
+    }
+
+    /// [`SimBackend::from_env`] with a caller-chosen fallback for when the
+    /// variable is unset or empty (e.g. the guadalupe scenario defaults to
+    /// the trajectory engine because its register exceeds the density cap).
+    ///
+    /// # Panics
+    ///
+    /// As [`SimBackend::from_env`] on an unknown name.
+    pub fn from_env_or(default: SimBackend) -> SimBackend {
+        match std::env::var("QUCAD_BACKEND") {
+            Ok(v) if !v.trim().is_empty() => SimBackend::parse(&v).unwrap_or_else(|| {
+                panic!("QUCAD_BACKEND must be 'density' or 'trajectory', got '{v}'")
+            }),
+            _ => default,
+        }
+    }
+
+    /// Stable lowercase name (`"density"` / `"trajectory"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimBackend::Density => "density",
+            SimBackend::Trajectory => "trajectory",
+        }
+    }
+}
+
+/// Options controlling how calibration data maps to channel strengths and
+/// which engine simulates the result.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseOptions {
     /// Multiplier from calibration error rate to depolarising `λ`.
@@ -77,6 +170,12 @@ pub struct NoiseOptions {
     pub shots: Option<u64>,
     /// Seed for the shot-noise stream (ignored when `shots` is `None`).
     pub shot_seed: u64,
+    /// Simulation engine (default [`SimBackend::Density`]).
+    pub backend: SimBackend,
+    /// Trajectories averaged per evaluation when `backend` is
+    /// [`SimBackend::Trajectory`]; the per-qubit `P(1)` standard error
+    /// scales as `≤ 1/(2√N)`.
+    pub trajectories: u32,
 }
 
 impl Default for NoiseOptions {
@@ -86,6 +185,8 @@ impl Default for NoiseOptions {
             readout: true,
             shots: None,
             shot_seed: 0,
+            backend: SimBackend::Density,
+            trajectories: 256,
         }
     }
 }
@@ -99,6 +200,11 @@ impl NoiseOptions {
             shot_seed,
             ..NoiseOptions::default()
         }
+    }
+
+    /// Returns a copy running on `backend`.
+    pub fn with_backend(self, backend: SimBackend) -> Self {
+        NoiseOptions { backend, ..self }
     }
 }
 
@@ -130,6 +236,10 @@ pub struct NoisyExecutor {
     /// Reusable density-matrix storage: one allocation per executor clone
     /// (i.e. per worker thread), reused across every evaluation it runs.
     workspace: std::cell::RefCell<SimWorkspace>,
+    /// Reusable trajectory (pure-state) storage, the trajectory backend's
+    /// counterpart of `workspace`: one allocation per executor clone,
+    /// reused across every trajectory of every evaluation.
+    traj_workspace: std::cell::RefCell<TrajectoryWorkspace>,
 }
 
 impl NoisyExecutor {
@@ -148,6 +258,7 @@ impl NoisyExecutor {
             options,
             shot_rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(options.shot_seed)),
             workspace: std::cell::RefCell::new(SimWorkspace::new()),
+            traj_workspace: std::cell::RefCell::new(TrajectoryWorkspace::new()),
         }
     }
 
@@ -188,7 +299,18 @@ impl NoisyExecutor {
         weights: &[f64],
         snapshot: &CalibrationSnapshot,
     ) -> Vec<f64> {
-        self.z_scores_impl(features, weights, snapshot, &mut self.shot_rng.borrow_mut())
+        let mut rng = self.shot_rng.borrow_mut();
+        // The trajectory path needs its own seed; draw it from the shared
+        // stream only when that backend is active so density-backend bits
+        // are unchanged.
+        let traj_seed = match self.options.backend {
+            SimBackend::Trajectory => {
+                use rand::Rng;
+                rng.gen::<u64>()
+            }
+            SimBackend::Density => 0,
+        };
+        self.z_scores_impl(features, weights, snapshot, &mut rng, traj_seed)
     }
 
     /// [`Self::z_scores`] with shot noise drawn from a private stream
@@ -214,7 +336,22 @@ impl NoisyExecutor {
     ) -> Vec<f64> {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(mix_stream(self.options.shot_seed, stream));
-        self.z_scores_impl(features, weights, snapshot, &mut rng)
+        self.z_scores_impl(
+            features,
+            weights,
+            snapshot,
+            &mut rng,
+            self.traj_seed(stream),
+        )
+    }
+
+    /// Seed of the trajectory stream for a seeded evaluation: a function of
+    /// `(shot_seed, stream)` only, salted so it never collides with the
+    /// shot-noise stream, which keeps trajectory results order- and
+    /// thread-independent exactly like the density path.
+    fn traj_seed(&self, stream: u64) -> u64 {
+        const TRAJ_SALT: u64 = 0x7452_414A_5F4D_4357; // "tRAJ_MCW"
+        mix_stream(self.options.shot_seed ^ TRAJ_SALT, stream)
     }
 
     /// Retranspiles the circuit at the bound parameters (simplify → route →
@@ -286,13 +423,17 @@ impl NoisyExecutor {
             .collect()
     }
 
-    fn z_scores_impl(
+    /// Shared per-evaluation compilation for both backends: retranspile at
+    /// the bound parameters and compile the native circuit plus its noise
+    /// interleave into a fused program over the compacted register
+    /// (matrices prebound once, same-support runs collapsed into single
+    /// passes).
+    fn compile(
         &self,
         features: &[f64],
         weights: &[f64],
         snapshot: &CalibrationSnapshot,
-        shot_rng: &mut rand::rngs::StdRng,
-    ) -> Vec<f64> {
+    ) -> (NativeCircuit, QubitCompaction, quasim::fused::FusedProgram) {
         assert_eq!(
             snapshot.n_qubits(),
             self.topology.n_qubits(),
@@ -300,20 +441,107 @@ impl NoisyExecutor {
         );
         let full = self.model.full_params(features, weights);
         let native = self.retranspile(&full);
-        // Compile the native circuit plus its noise interleave into a fused
-        // program over the compacted register (matrices prebound once,
-        // same-support runs collapsed into single passes) and run it on
-        // the reusable workspace — the whole simulation allocates nothing
-        // beyond the program itself.
         let compaction = self.compaction(&native);
         let program =
             fuse_native_compacted(&native, &compaction, |op| self.op_lambda(op, snapshot));
-        let mut ws = self.workspace.borrow_mut();
-        ws.reset_zero(compaction.n_active());
-        ws.run(&program);
-        self.scores_from_probs(&native, snapshot, shot_rng, |q| {
-            ws.prob_one(compaction.compact(q))
-        })
+        (native, compaction, program)
+    }
+
+    /// Runs the trajectory batch for a compiled program over the measured
+    /// qubits (compact register indices, [`VqcModel::measured_logical`]
+    /// order) — the single implementation behind both the trajectory arm
+    /// of the z-score paths and [`Self::trajectory_estimate`], so the two
+    /// can never drift apart.
+    fn run_trajectories(
+        &self,
+        native: &NativeCircuit,
+        compaction: &QubitCompaction,
+        program: &quasim::fused::FusedProgram,
+        traj_seed: u64,
+    ) -> TrajectoryEstimate {
+        let measured: Vec<usize> = self
+            .model
+            .measured_logical()
+            .iter()
+            .map(|&l| compaction.compact(native.measured_physical(l)))
+            .collect();
+        let mut ws = self.traj_workspace.borrow_mut();
+        estimate_prob_one(
+            &mut ws,
+            program,
+            &measured,
+            self.options.trajectories,
+            traj_seed,
+        )
+    }
+
+    fn z_scores_impl(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        shot_rng: &mut rand::rngs::StdRng,
+        traj_seed: u64,
+    ) -> Vec<f64> {
+        // Both backends execute the same compiled program on their
+        // reusable per-executor workspace — the whole simulation allocates
+        // nothing beyond the program itself.
+        let (native, compaction, program) = self.compile(features, weights, snapshot);
+        match self.options.backend {
+            SimBackend::Density => {
+                assert!(
+                    compaction.n_active() <= MAX_DENSITY_QUBITS,
+                    "density backend supports at most {MAX_DENSITY_QUBITS} active qubits, \
+                     this circuit needs {}; switch to the trajectory backend \
+                     (QUCAD_BACKEND=trajectory or NoiseOptions::backend)",
+                    compaction.n_active()
+                );
+                let mut ws = self.workspace.borrow_mut();
+                ws.reset_zero(compaction.n_active());
+                ws.run(&program);
+                self.scores_from_probs(&native, snapshot, shot_rng, |q| {
+                    ws.prob_one(compaction.compact(q))
+                })
+            }
+            SimBackend::Trajectory => {
+                let est = self.run_trajectories(&native, &compaction, &program, traj_seed);
+                self.scores_from_probs(&native, snapshot, shot_rng, |q| {
+                    est.p_one_of(compaction.compact(q))
+                })
+            }
+        }
+    }
+
+    /// The trajectory backend's raw estimate for a seeded evaluation:
+    /// per-measured-qubit `P(1)` means and standard errors, *before*
+    /// readout confusion and shot noise. Uses the identical trajectory
+    /// stream as [`Self::z_scores_seeded`] on [`SimBackend::Trajectory`],
+    /// so the cross-backend consistency harness can derive its confidence
+    /// bound from the very run it checks.
+    ///
+    /// The returned `qubits` are the measured **physical** qubits in
+    /// [`VqcModel::measured_logical`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::z_scores_seeded`].
+    pub fn trajectory_estimate(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+        stream: u64,
+    ) -> TrajectoryEstimate {
+        let (native, compaction, program) = self.compile(features, weights, snapshot);
+        let mut est = self.run_trajectories(&native, &compaction, &program, self.traj_seed(stream));
+        // Report physical qubit ids to the caller.
+        est.qubits = self
+            .model
+            .measured_logical()
+            .iter()
+            .map(|&l| native.measured_physical(l))
+            .collect();
+        est
     }
 
     /// Reference implementation of [`Self::z_scores_seeded`] that applies
@@ -408,7 +636,10 @@ pub mod parallel {
     //!
     //! Consequently `threads = 1` and `threads = N` produce the same bits,
     //! which [`batch_z_scores`]'s contract (and the workspace's
-    //! `parallel_identity` integration test) guarantees.
+    //! `parallel_identity` integration test) guarantees. The guarantee
+    //! holds for **both** simulation backends: the trajectory engine seeds
+    //! its jump stream from `(shot_seed, stream)` alone, never from
+    //! execution order (see `tests/backend_consistency.rs`).
     //!
     //! Thread count selection: [`worker_threads`] honours the
     //! `QUCAD_THREADS` environment variable and falls back to
@@ -656,6 +887,63 @@ mod tests {
         assert!(exec.circuit_length(&f, &half) < exec.circuit_length(&f, &generic));
         let levels: Vec<f64> = (0..model.n_weights()).map(|_| PI).collect();
         assert!(exec.circuit_length(&f, &levels) < exec.circuit_length(&f, &generic));
+    }
+
+    #[test]
+    fn trajectory_backend_zero_noise_matches_pure() {
+        // With every λ = 0 no stochastic atom is emitted, so a single
+        // trajectory is exact and must match the pure path like the
+        // density backend does.
+        let model = VqcModel::paper_model(4, 4, 4, 1);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(
+            &model,
+            &topo,
+            NoiseOptions {
+                backend: SimBackend::Trajectory,
+                readout: false,
+                ..NoiseOptions::default()
+            },
+        );
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 0.0, 0.0, 0.0);
+        let weights = model.init_weights(3);
+        let features = [0.2, 0.7, 1.1, 2.0];
+        let z_traj = exec.z_scores_seeded(&features, &weights, &snap, 0);
+        let z_pure = pure_z_scores(&model, &features, &weights);
+        for (a, b) in z_traj.iter().zip(z_pure.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn trajectory_backend_is_seed_deterministic() {
+        let (model, topo, _) = setup();
+        let exec = NoisyExecutor::new(
+            &model,
+            &topo,
+            NoiseOptions {
+                backend: SimBackend::Trajectory,
+                trajectories: 32,
+                ..NoiseOptions::default()
+            },
+        );
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let weights = model.init_weights(5);
+        let features = [0.4, 0.9, 1.3, 0.2];
+        let a = exec.z_scores_seeded(&features, &weights, &snap, 7);
+        let b = exec.z_scores_seeded(&features, &weights, &snap, 7);
+        assert_eq!(a, b, "same stream must replay the same trajectories");
+        let c = exec.z_scores_seeded(&features, &weights, &snap, 8);
+        assert_ne!(a, c, "different streams must decorrelate");
+    }
+
+    #[test]
+    fn backend_parse_roundtrip() {
+        for b in [SimBackend::Density, SimBackend::Trajectory] {
+            assert_eq!(SimBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(SimBackend::parse(" Traj "), Some(SimBackend::Trajectory));
+        assert_eq!(SimBackend::parse("statevector"), None);
     }
 
     #[test]

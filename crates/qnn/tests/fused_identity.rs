@@ -21,6 +21,7 @@ fn arb_options() -> impl Strategy<Value = NoiseOptions> {
             readout,
             shots,
             shot_seed,
+            ..NoiseOptions::default()
         })
 }
 

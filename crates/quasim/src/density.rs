@@ -22,6 +22,12 @@ use crate::math::{CMatrix, Complex64, M2, M4};
 use crate::noise::{apply_readout_to_distribution, KrausChannel, ReadoutError};
 use crate::statevector::StateVector;
 
+/// Largest register the dense density-matrix engine accepts: `ρ` costs
+/// `4^n` complex entries, so 12 qubits (256 MiB) is the practical ceiling.
+/// Wider devices need the O(2^n)-per-trajectory [`crate::trajectory`]
+/// engine.
+pub const MAX_DENSITY_QUBITS: usize = 12;
+
 /// A mixed quantum state over `n` qubits.
 ///
 /// # Examples
@@ -51,7 +57,10 @@ impl DensityMatrix {
     ///
     /// Panics if `n_qubits` is 0 or greater than 12 (dense ρ would be huge).
     pub fn zero_state(n_qubits: usize) -> Self {
-        assert!((1..=12).contains(&n_qubits), "unsupported qubit count");
+        assert!(
+            (1..=MAX_DENSITY_QUBITS).contains(&n_qubits),
+            "unsupported qubit count"
+        );
         let dim = 1usize << n_qubits;
         let mut data = vec![Complex64::ZERO; dim * dim];
         data[0] = Complex64::ONE;
@@ -388,7 +397,10 @@ impl SimWorkspace {
     ///
     /// Panics if `n_qubits` is 0 or greater than 12.
     pub fn reset_zero(&mut self, n_qubits: usize) {
-        assert!((1..=12).contains(&n_qubits), "unsupported qubit count");
+        assert!(
+            (1..=MAX_DENSITY_QUBITS).contains(&n_qubits),
+            "unsupported qubit count"
+        );
         let dim = 1usize << n_qubits;
         self.n_qubits = n_qubits;
         self.dim = dim;

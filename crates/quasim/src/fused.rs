@@ -174,6 +174,31 @@ impl FusedProgram {
         self.atoms.len()
     }
 
+    /// The atoms of one segment, in execution order (for alternative
+    /// execution engines such as [`crate::trajectory`]).
+    pub fn atoms_in(&self, seg: &Segment) -> &[FusedAtom] {
+        &self.atoms[seg.atoms.clone()]
+    }
+
+    /// Prebound 2×2 matrix referenced by a [`FusedAtom::Unitary1`].
+    pub fn m2(&self, idx: u32) -> &M2 {
+        &self.m2s[idx as usize]
+    }
+
+    /// Prebound 4×4 matrix referenced by a [`FusedAtom::Unitary2`].
+    pub fn m4(&self, idx: u32) -> &M4 {
+        &self.m4s[idx as usize]
+    }
+
+    /// Whether the program contains no stochastic (noise-channel) atom, so
+    /// any unraveling of it is exact in a single pass.
+    pub fn is_deterministic(&self) -> bool {
+        !self
+            .atoms
+            .iter()
+            .any(|a| matches!(a, FusedAtom::Depol1 { .. } | FusedAtom::Depol2 { .. }))
+    }
+
     /// Executes the program in place on flat row-major storage of dimension
     /// `dim = 2^n_qubits`.
     ///
@@ -213,11 +238,20 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates a builder for `n_qubits`.
     ///
+    /// The cap matches the trajectory engine's
+    /// [`crate::trajectory::MAX_TRAJECTORY_QUBITS`]: a program is just an
+    /// instruction stream, so it can address registers far beyond what the
+    /// dense density-matrix engine (capped at
+    /// [`crate::density::MAX_DENSITY_QUBITS`]) can execute.
+    ///
     /// # Panics
     ///
-    /// Panics if `n_qubits` is 0 or greater than 12.
+    /// Panics if `n_qubits` is 0 or greater than 24.
     pub fn new(n_qubits: usize) -> Self {
-        assert!((1..=12).contains(&n_qubits), "unsupported qubit count");
+        assert!(
+            (1..=crate::trajectory::MAX_TRAJECTORY_QUBITS).contains(&n_qubits),
+            "unsupported qubit count"
+        );
         ProgramBuilder {
             n_qubits,
             segments: Vec::new(),

@@ -16,7 +16,11 @@
 //!   a one- or two-qubit support executed in a single pass over `ρ`,
 //!   bit-identical to op-by-op application;
 //! - [`noise`]: depolarising / flip / damping channels and classical readout
-//!   confusion, mirroring Qiskit Aer's calibration-driven device model.
+//!   confusion, mirroring Qiskit Aer's calibration-driven device model;
+//! - [`trajectory`]: Monte-Carlo wavefunction (quantum-trajectory)
+//!   simulation — the same fused programs unraveled into stochastic jumps
+//!   on a pure state at O(2^n) per trajectory, unlocking registers beyond
+//!   the dense-`ρ` cap (e.g. the 16-qubit `ibm_guadalupe`).
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@ pub mod gate;
 pub mod math;
 pub mod noise;
 pub mod statevector;
+pub mod trajectory;
 
 pub use density::{DensityMatrix, SimWorkspace};
 pub use fused::{FusedProgram, ProgramBuilder};
@@ -57,3 +62,4 @@ pub use gate::{BoundGate, GateKind};
 pub use math::{CMatrix, Complex64};
 pub use noise::{KrausChannel, ReadoutError};
 pub use statevector::StateVector;
+pub use trajectory::{TrajectoryEstimate, TrajectoryWorkspace};

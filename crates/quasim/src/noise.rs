@@ -293,6 +293,78 @@ mod tests {
     }
 
     #[test]
+    fn extreme_channel_parameters_stay_cptp() {
+        // The λ ∈ {0, 1} endpoints are where the Kraus weights degenerate
+        // (all mass on the identity, or none); completeness must hold
+        // exactly at both.
+        for l in [0.0, 1.0] {
+            assert!(KrausChannel::depolarizing_1q(l).is_trace_preserving(1e-12));
+            assert!(KrausChannel::depolarizing_2q(l).is_trace_preserving(1e-12));
+        }
+        assert!(KrausChannel::amplitude_damping(1.0).is_trace_preserving(1e-12));
+        assert!(KrausChannel::bit_flip(0.5).is_trace_preserving(1e-12));
+    }
+
+    #[test]
+    fn full_amplitude_damping_resets_to_ground() {
+        // γ = 1: every state decays to |0⟩ exactly.
+        let ch = KrausChannel::amplitude_damping(1.0);
+        let mut rho = crate::density::DensityMatrix::zero_state(1);
+        rho.apply_gate(&crate::gate::BoundGate::one(
+            crate::gate::GateKind::X,
+            0,
+            0.0,
+        ));
+        rho.apply_channel(&ch, &[0]);
+        assert!(rho.prob_one(0).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12, "|0⟩⟨0| is pure");
+    }
+
+    #[test]
+    fn half_bit_flip_fully_mixes_z() {
+        // p = 1/2 erases all Z information: P(1) = 1/2 from any basis state.
+        let ch = KrausChannel::bit_flip(0.5);
+        let mut rho = crate::density::DensityMatrix::zero_state(1);
+        rho.apply_channel(&ch, &[0]);
+        assert!((rho.prob_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_depolarizing_reaches_maximally_mixed() {
+        let mut rho = crate::density::DensityMatrix::zero_state(2);
+        rho.apply_channel(&KrausChannel::depolarizing_1q(1.0), &[0]);
+        rho.apply_channel(&KrausChannel::depolarizing_2q(1.0), &[0, 1]);
+        let mixed = crate::density::DensityMatrix::maximally_mixed(2);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((rho.get(i, j) - mixed.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn readout_extremes_stay_in_unit_interval() {
+        // Every corner of the (p01, p10, p1) cube must map into [0, 1].
+        for p01 in [0.0, 1.0] {
+            for p10 in [0.0, 1.0] {
+                let r = ReadoutError::new(p01, p10);
+                for p1 in [0.0, 1.0] {
+                    let out = r.apply_to_prob_one(p1);
+                    assert!(
+                        (0.0..=1.0).contains(&out),
+                        "readout ({p01},{p10}) mapped {p1} to {out}"
+                    );
+                }
+            }
+        }
+        // Fully confusing readout flips deterministically.
+        let flip = ReadoutError::new(1.0, 1.0);
+        assert!((flip.apply_to_prob_one(0.0) - 1.0).abs() < 1e-12);
+        assert!(flip.apply_to_prob_one(1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn readout_identity_when_no_error() {
         let r = ReadoutError::none();
         for p in [0.0, 0.25, 1.0] {

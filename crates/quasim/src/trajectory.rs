@@ -1,0 +1,672 @@
+//! Monte-Carlo wavefunction (quantum-trajectory) simulation.
+//!
+//! The density-matrix engine in [`crate::density`] is exact but costs
+//! O(4^n) per operation, which caps it at [`crate::density::MAX_DENSITY_QUBITS`]
+//! qubits. This module trades exactness for reach: it *unravels* each noise
+//! channel into stochastic jumps on a pure [`StateVector`]-style register,
+//! so one **trajectory** costs O(2^n) per operation and the channel average
+//! is recovered by averaging many independently-seeded trajectories. That
+//! unlocks 14–16-qubit devices (e.g. `ibm_guadalupe`) that no dense `ρ`
+//! can touch.
+//!
+//! # Unraveling
+//!
+//! The calibration-driven device model is built from depolarising channels,
+//! which are *mixed-unitary*: `ρ → Σ_k p_k U_k ρ U_k†` with state-independent
+//! probabilities (`I` with `1−3λ/4`, each Pauli with `λ/4`; the 16
+//! two-qubit Pauli products analogously). A trajectory samples one `U_k`
+//! per channel application and applies it — no renormalisation needed, the
+//! sampled operator is unitary. The expectation over trajectories equals
+//! the exact channel average, so per-qubit `P(1)` estimates are unbiased
+//! with variance ≤ 1/4 per trajectory.
+//!
+//! General (non-mixed-unitary) CPTP channels, e.g. amplitude damping, are
+//! supported through [`TrajectoryWorkspace::apply_channel_stochastic`]: jump
+//! probabilities `p_k = ⟨ψ|K_k†K_k|ψ⟩` are computed from the state and the
+//! chosen branch is renormalised.
+//!
+//! # Program reuse
+//!
+//! Trajectories execute the same compiled [`FusedProgram`]s as the density
+//! engine (built once per evaluation by `transpile::fuse`), reusing its
+//! prebound matrices and [`MatClass`] classification — diagonal atoms
+//! (`RZ`, phases) skip the amplitude-pair gather entirely. Atoms are walked
+//! in program order, so a trajectory with no stochastic atom is exactly the
+//! noise-free state-vector run.
+//!
+//! # Determinism
+//!
+//! All randomness comes from the caller-seeded RNG passed in; a fixed seed
+//! replays the identical jump record, which is what the cross-backend
+//! consistency harness and the thread-invariance guarantees of
+//! `qnn::executor::parallel` rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use quasim::fused::ProgramBuilder;
+//! use quasim::gate::GateKind;
+//! use quasim::trajectory::{estimate_prob_one, TrajectoryWorkspace};
+//!
+//! let mut b = ProgramBuilder::new(2);
+//! b.unitary_1q(0, GateKind::H.entries_1q(0.0).unwrap());
+//! b.cx(0, 1);
+//! b.depolarize_1q(1, 0.1);
+//! let program = b.finish();
+//!
+//! let mut ws = TrajectoryWorkspace::new();
+//! let est = estimate_prob_one(&mut ws, &program, &[1], 200, 7);
+//! // Bell pair + weak depolarising: P(1) stays near 1/2.
+//! assert!((est.p_one[0] - 0.5).abs() < 0.15);
+//! ```
+
+use crate::density::kernels::insert_zero_bit;
+use crate::fused::{FusedAtom, FusedProgram, MatClass, Support, Wire};
+use crate::math::{Complex64, M2, M4};
+use crate::noise::KrausChannel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Largest register the trajectory engine accepts (matches
+/// [`crate::statevector::StateVector`]'s cap).
+pub const MAX_TRAJECTORY_QUBITS: usize = 24;
+
+/// Applies a 2×2 matrix (not necessarily unitary) to qubit `q` in place.
+///
+/// All kernels here enumerate only the coupled index sets via
+/// [`insert_zero_bit`] (the same bit-twiddling the density kernels use):
+/// no per-index masking branch, which matters at 2^16 amplitudes per op.
+fn m2_on(amps: &mut [Complex64], q: usize, m: &M2, class: MatClass) {
+    let mask = 1usize << q;
+    let half = amps.len() >> 1;
+    if class == MatClass::Diagonal {
+        // RZ / phase family: pure per-amplitude scaling, no pair gather.
+        let (d0, d1) = (m[0], m[3]);
+        for k in 0..half {
+            let i = insert_zero_bit(k, mask);
+            let j = i | mask;
+            amps[i] *= d0;
+            amps[j] *= d1;
+        }
+        return;
+    }
+    let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+    for k in 0..half {
+        let i = insert_zero_bit(k, mask);
+        let j = i | mask;
+        let a0 = amps[i];
+        let a1 = amps[j];
+        amps[i] = m00 * a0 + m01 * a1;
+        amps[j] = m10 * a0 + m11 * a1;
+    }
+}
+
+/// Applies a 4×4 matrix to the ordered qubit pair `(hi, lo)` in place;
+/// `hi` is the most significant local bit, matching
+/// [`crate::gate::GateKind::matrix`].
+fn m4_on(amps: &mut [Complex64], hi: usize, lo: usize, m: &M4) {
+    let mh = 1usize << hi;
+    let ml = 1usize << lo;
+    let (m_small, m_big) = if mh < ml { (mh, ml) } else { (ml, mh) };
+    let quarter = amps.len() >> 2;
+    for k in 0..quarter {
+        let i = insert_zero_bit(insert_zero_bit(k, m_small), m_big);
+        let idx = [i, i | ml, i | mh, i | mh | ml];
+        let old = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+        for r in 0..4 {
+            let mut acc = Complex64::ZERO;
+            for (c, &o) in old.iter().enumerate() {
+                acc += m[r * 4 + c] * o;
+            }
+            amps[idx[r]] = acc;
+        }
+    }
+}
+
+/// Applies CNOT as an index permutation.
+fn cx_on(amps: &mut [Complex64], control: usize, target: usize) {
+    let cm = 1usize << control;
+    let tm = 1usize << target;
+    let (m_small, m_big) = if cm < tm { (cm, tm) } else { (tm, cm) };
+    let quarter = amps.len() >> 2;
+    for k in 0..quarter {
+        let i = insert_zero_bit(insert_zero_bit(k, m_small), m_big) | cm;
+        amps.swap(i, i | tm);
+    }
+}
+
+/// Applies a Pauli (`1 = X`, `2 = Y`, `3 = Z`) to qubit `q` in place.
+fn pauli_on(amps: &mut [Complex64], q: usize, pauli: usize) {
+    let mask = 1usize << q;
+    let half = amps.len() >> 1;
+    match pauli {
+        1 => {
+            for k in 0..half {
+                let i = insert_zero_bit(k, mask);
+                amps.swap(i, i | mask);
+            }
+        }
+        2 => {
+            for k in 0..half {
+                let i = insert_zero_bit(k, mask);
+                let j = i | mask;
+                let a0 = amps[i];
+                let a1 = amps[j];
+                // Y = [[0, −i], [i, 0]].
+                amps[i] = Complex64::new(a1.im, -a1.re);
+                amps[j] = Complex64::new(-a0.im, a0.re);
+            }
+        }
+        3 => {
+            for k in 0..half {
+                let j = insert_zero_bit(k, mask) | mask;
+                let a = amps[j];
+                amps[j] = Complex64::new(-a.re, -a.im);
+            }
+        }
+        _ => unreachable!("pauli index must be 1..=3"),
+    }
+}
+
+/// A reusable pure-state register for trajectory simulation.
+///
+/// Owns the amplitude storage (plus a scratch buffer for generic Kraus
+/// unraveling), so a worker thread can run thousands of trajectories with
+/// one allocation: [`TrajectoryWorkspace::reset_zero`] re-initialises in
+/// place and [`TrajectoryWorkspace::run_stochastic`] executes a fused
+/// program with stochastic jumps.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryWorkspace {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+    scratch: Vec<Complex64>,
+}
+
+impl TrajectoryWorkspace {
+    /// Creates an empty workspace (no storage until the first reset).
+    pub fn new() -> Self {
+        TrajectoryWorkspace::default()
+    }
+
+    /// Re-initialises the state to `|0…0⟩` over `n_qubits`, reusing the
+    /// buffer when large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or greater than
+    /// [`MAX_TRAJECTORY_QUBITS`].
+    pub fn reset_zero(&mut self, n_qubits: usize) {
+        assert!(
+            (1..=MAX_TRAJECTORY_QUBITS).contains(&n_qubits),
+            "unsupported qubit count"
+        );
+        self.n_qubits = n_qubits;
+        self.amps.clear();
+        self.amps.resize(1usize << n_qubits, Complex64::ZERO);
+        self.amps[0] = Complex64::ONE;
+    }
+
+    /// Number of qubits of the current state (0 before the first reset).
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Raw amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Probability of measuring qubit `q` as `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let mask = 1usize << q;
+        (0..self.amps.len() >> 1)
+            .map(|k| self.amps[insert_zero_bit(k, mask) | mask].norm_sqr())
+            .sum()
+    }
+
+    /// Squared norm (1 up to rounding for mixed-unitary unravelings).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Executes one trajectory of a fused program: unitary atoms apply
+    /// exactly, depolarising atoms sample one Pauli jump each from `rng`.
+    ///
+    /// A program with no stochastic atom is deterministic and identical to
+    /// the noise-free state-vector run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's qubit count differs from the workspace's
+    /// current register (reset first).
+    pub fn run_stochastic(&mut self, program: &FusedProgram, rng: &mut StdRng) {
+        assert_eq!(
+            program.n_qubits(),
+            self.n_qubits,
+            "program/workspace qubit count mismatch"
+        );
+        for seg in program.segments() {
+            match seg.support() {
+                Support::One(q) => {
+                    for atom in program.atoms_in(seg) {
+                        match *atom {
+                            FusedAtom::Unitary1 { m2, class } => {
+                                m2_on(&mut self.amps, q, program.m2(m2), class);
+                            }
+                            FusedAtom::Depol1 { lambda } => self.jump_depol1(q, lambda, rng),
+                            _ => unreachable!("two-qubit atom in one-qubit segment"),
+                        }
+                    }
+                }
+                Support::Two(a, b) => {
+                    for atom in program.atoms_in(seg) {
+                        match *atom {
+                            FusedAtom::Cx { control } => {
+                                let (c, t) = if control == Wire::A { (a, b) } else { (b, a) };
+                                cx_on(&mut self.amps, c, t);
+                            }
+                            FusedAtom::Unitary2 { m4, swapped } => {
+                                let (hi, lo) = if swapped { (b, a) } else { (a, b) };
+                                m4_on(&mut self.amps, hi, lo, program.m4(m4));
+                            }
+                            FusedAtom::Depol2 { lambda, swapped } => {
+                                let (first, second) = if swapped { (b, a) } else { (a, b) };
+                                self.jump_depol2(first, second, lambda, rng);
+                            }
+                            _ => unreachable!("one-qubit atom in two-qubit segment"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-qubit depolarising jump: identity with probability `1 − 3λ/4`,
+    /// otherwise a uniformly chosen Pauli.
+    fn jump_depol1(&mut self, q: usize, lambda: f64, rng: &mut StdRng) {
+        let l = lambda.clamp(0.0, 1.0);
+        let u: f64 = rng.gen();
+        let w_id = 1.0 - 3.0 * l / 4.0;
+        if u < w_id {
+            return;
+        }
+        // Map the residual mass onto the three Paulis; the clamp guards the
+        // u ≈ 1 rounding edge.
+        let k = (((u - w_id) / (l / 4.0)) as usize).min(2) + 1;
+        pauli_on(&mut self.amps, q, k);
+    }
+
+    /// Two-qubit depolarising jump: `I⊗I` with probability `1 − 15λ/16`,
+    /// otherwise one of the 15 non-identity Pauli products.
+    fn jump_depol2(&mut self, first: usize, second: usize, lambda: f64, rng: &mut StdRng) {
+        let l = lambda.clamp(0.0, 1.0);
+        let u: f64 = rng.gen();
+        let w_id = 1.0 - 15.0 * l / 16.0;
+        if u < w_id {
+            return;
+        }
+        let k = (((u - w_id) / (l / 16.0)) as usize).min(14) + 1;
+        let (pa, pb) = (k >> 2, k & 3);
+        if pa != 0 {
+            pauli_on(&mut self.amps, first, pa);
+        }
+        if pb != 0 {
+            pauli_on(&mut self.amps, second, pb);
+        }
+    }
+
+    /// Stochastically unravels a general CPTP channel: computes the jump
+    /// probabilities `p_k = ⟨ψ|K_k†K_k|ψ⟩`, samples a branch, applies its
+    /// Kraus operator, and renormalises. Returns the chosen branch index.
+    ///
+    /// This is the path for channels that are *not* mixed-unitary (e.g.
+    /// [`KrausChannel::amplitude_damping`]); depolarising noise inside
+    /// fused programs goes through the cheaper Pauli-jump sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len() != channel.arity()` or an index is invalid.
+    pub fn apply_channel_stochastic(
+        &mut self,
+        channel: &KrausChannel,
+        qubits: &[usize],
+        rng: &mut StdRng,
+    ) -> usize {
+        assert_eq!(
+            qubits.len(),
+            channel.arity(),
+            "channel arity does not match qubit count"
+        );
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        if channel.arity() == 2 {
+            assert_ne!(qubits[0], qubits[1], "qubits must be distinct");
+        }
+        // Applies Kraus operator `k` to the current state into `scratch`
+        // and returns its branch probability ⟨ψ|K†K|ψ⟩.
+        let apply_branch = |scratch: &mut Vec<Complex64>, amps: &[Complex64], k: usize| -> f64 {
+            scratch.clear();
+            scratch.extend_from_slice(amps);
+            let kraus = &channel.kraus_ops()[k];
+            match channel.arity() {
+                1 => {
+                    let m = kraus.to_2x2().expect("one-qubit Kraus operator");
+                    m2_on(scratch, qubits[0], &m, crate::fused::classify2(&m));
+                }
+                _ => {
+                    let m = kraus.to_4x4().expect("two-qubit Kraus operator");
+                    m4_on(scratch, qubits[0], qubits[1], &m);
+                }
+            }
+            scratch.iter().map(|a| a.norm_sqr()).sum()
+        };
+        let u: f64 = rng.gen();
+        let mut cum = 0.0;
+        let mut chosen: Option<(usize, f64)> = None;
+        let mut in_scratch: Option<usize> = None;
+        for k in 0..channel.kraus_ops().len() {
+            let p = apply_branch(&mut self.scratch, &self.amps, k);
+            in_scratch = Some(k);
+            if p <= 0.0 {
+                continue;
+            }
+            cum += p;
+            chosen = Some((k, p));
+            if u < cum {
+                break;
+            }
+        }
+        let (k, p) = chosen.expect("CPTP channel must have a positive-probability branch");
+        // Rounding in the cumulative sum can run the loop off the end with
+        // a later (possibly zero-probability) branch still in scratch;
+        // re-apply the branch that was actually selected.
+        if in_scratch != Some(k) {
+            apply_branch(&mut self.scratch, &self.amps, k);
+        }
+        let inv = Complex64::real(1.0 / p.sqrt());
+        for (a, s) in self.amps.iter_mut().zip(self.scratch.iter()) {
+            *a = *s * inv;
+        }
+        k
+    }
+}
+
+/// Per-qubit `P(1)` estimate from a batch of trajectories, with the
+/// standard error the cross-backend consistency harness derives its
+/// confidence bound from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEstimate {
+    /// Qubits the estimate covers, in request order.
+    pub qubits: Vec<usize>,
+    /// Mean `P(1)` per qubit (unbiased estimate of the exact channel
+    /// average).
+    pub p_one: Vec<f64>,
+    /// Standard error of each mean (`√(s² / N)` with the sample variance
+    /// `s²`; 0 when the program is deterministic).
+    pub std_err: Vec<f64>,
+    /// Number of trajectories averaged (1 for deterministic programs).
+    pub n_trajectories: u32,
+}
+
+impl TrajectoryEstimate {
+    /// `P(1)` of a covered qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not one of the estimated qubits.
+    pub fn p_one_of(&self, q: usize) -> f64 {
+        let idx = self
+            .qubits
+            .iter()
+            .position(|&x| x == q)
+            .unwrap_or_else(|| panic!("qubit {q} not covered by this estimate"));
+        self.p_one[idx]
+    }
+
+    /// `⟨Z⟩ = 1 − 2·P(1)` per covered qubit.
+    pub fn z_scores(&self) -> Vec<f64> {
+        self.p_one.iter().map(|p| 1.0 - 2.0 * p).collect()
+    }
+
+    /// Standard error of each Z score (`2 ×` the `P(1)` standard error).
+    pub fn z_std_err(&self) -> Vec<f64> {
+        self.std_err.iter().map(|s| 2.0 * s).collect()
+    }
+}
+
+/// Averages `n_trajectories` seeded trajectories of `program` and returns
+/// per-qubit `P(1)` estimates with standard errors.
+///
+/// Deterministic: the whole batch draws from one `StdRng` seeded with
+/// `seed`, so identical `(program, qubits, n_trajectories, seed)` inputs
+/// return identical bits on any thread. Programs with no stochastic atom
+/// short-circuit to a single exact trajectory.
+///
+/// # Panics
+///
+/// Panics if `n_trajectories == 0` or a qubit is out of range.
+pub fn estimate_prob_one(
+    ws: &mut TrajectoryWorkspace,
+    program: &FusedProgram,
+    qubits: &[usize],
+    n_trajectories: u32,
+    seed: u64,
+) -> TrajectoryEstimate {
+    assert!(n_trajectories > 0, "need at least one trajectory");
+    let n = if program.is_deterministic() {
+        1
+    } else {
+        n_trajectories
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = vec![0.0f64; qubits.len()];
+    let mut sum_sq = vec![0.0f64; qubits.len()];
+    for _ in 0..n {
+        ws.reset_zero(program.n_qubits());
+        ws.run_stochastic(program, &mut rng);
+        for (i, &q) in qubits.iter().enumerate() {
+            let p = ws.prob_one(q);
+            sum[i] += p;
+            sum_sq[i] += p * p;
+        }
+    }
+    let nf = n as f64;
+    let p_one: Vec<f64> = sum.iter().map(|s| s / nf).collect();
+    let std_err: Vec<f64> = sum_sq
+        .iter()
+        .zip(p_one.iter())
+        .map(|(&sq, &m)| {
+            if n < 2 {
+                0.0
+            } else {
+                let var = ((sq - nf * m * m) / (nf - 1.0)).max(0.0);
+                (var / nf).sqrt()
+            }
+        })
+        .collect();
+    TrajectoryEstimate {
+        qubits: qubits.to_vec(),
+        p_one,
+        std_err,
+        n_trajectories: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+    use crate::fused::ProgramBuilder;
+    use crate::gate::{BoundGate, GateKind};
+    use crate::statevector::run_circuit;
+
+    #[test]
+    fn deterministic_program_matches_statevector_bits() {
+        let gates = [
+            BoundGate::one(GateKind::H, 0, 0.0),
+            BoundGate::one(GateKind::Ry, 1, 0.7),
+            BoundGate::two(GateKind::Cx, 0, 2, 0.0),
+            BoundGate::one(GateKind::Rz, 2, -0.4),
+            BoundGate::two(GateKind::Crz, 2, 1, 1.1),
+        ];
+        let reference = run_circuit(3, &gates);
+
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::H.entries_1q(0.0).unwrap());
+        b.unitary_1q(1, GateKind::Ry.entries_1q(0.7).unwrap());
+        b.cx(0, 2);
+        b.unitary_1q(2, GateKind::Rz.entries_1q(-0.4).unwrap());
+        b.unitary_2q(2, 1, GateKind::Crz.entries_2q(1.1).unwrap());
+        let program = b.finish();
+        assert!(program.is_deterministic());
+
+        let mut ws = TrajectoryWorkspace::new();
+        let est = estimate_prob_one(&mut ws, &program, &[0, 1, 2], 500, 3);
+        // Deterministic programs short-circuit to one exact pass.
+        assert_eq!(est.n_trajectories, 1);
+        for (q, (p, se)) in est.p_one.iter().zip(est.std_err.iter()).enumerate() {
+            assert_eq!(p.to_bits(), reference.prob_one(q).to_bits());
+            assert_eq!(*se, 0.0);
+        }
+    }
+
+    #[test]
+    fn estimate_is_seed_deterministic() {
+        // Asymmetric rotation so Pauli jumps genuinely move the marginals
+        // (on a Bell pair every Pauli jump leaves P(1) at 1/2).
+        let mut b = ProgramBuilder::new(2);
+        b.unitary_1q(0, GateKind::Ry.entries_1q(0.7).unwrap());
+        b.depolarize_1q(0, 0.2);
+        b.cx(0, 1);
+        b.depolarize_2q(0.1, 0, 1);
+        let program = b.finish();
+        let mut ws = TrajectoryWorkspace::new();
+        let a = estimate_prob_one(&mut ws, &program, &[0, 1], 64, 42);
+        let b2 = estimate_prob_one(&mut ws, &program, &[0, 1], 64, 42);
+        assert_eq!(a, b2);
+        let c = estimate_prob_one(&mut ws, &program, &[0, 1], 64, 43);
+        assert_ne!(a.p_one, c.p_one);
+    }
+
+    #[test]
+    fn depolarising_average_converges_to_density_matrix() {
+        // X then strong depolarising on qubit 0: exact P(1) from ρ.
+        let lambda = 0.6;
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_gate(&BoundGate::one(GateKind::X, 0, 0.0));
+        rho.apply_depolarizing_1q(lambda, 0);
+        rho.apply_cx(0, 1);
+        rho.apply_depolarizing_2q(0.3, 0, 1);
+        let exact = [rho.prob_one(0), rho.prob_one(1)];
+
+        let mut b = ProgramBuilder::new(2);
+        b.unitary_1q(0, GateKind::X.entries_1q(0.0).unwrap());
+        b.depolarize_1q(0, lambda);
+        b.cx(0, 1);
+        b.depolarize_2q(0.3, 0, 1);
+        let program = b.finish();
+        let mut ws = TrajectoryWorkspace::new();
+        let est = estimate_prob_one(&mut ws, &program, &[0, 1], 4000, 11);
+        for (i, &e) in exact.iter().enumerate() {
+            let bound = 6.0 * est.std_err[i] + 1e-9;
+            assert!(
+                (est.p_one[i] - e).abs() <= bound,
+                "qubit {i}: {} vs exact {e} (bound {bound})",
+                est.p_one[i]
+            );
+        }
+    }
+
+    #[test]
+    fn trajectories_preserve_norm() {
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::H.entries_1q(0.0).unwrap());
+        b.depolarize_1q(0, 0.9);
+        b.cx(0, 1);
+        b.depolarize_2q(0.8, 0, 1);
+        b.unitary_2q(1, 2, GateKind::Cry.entries_2q(0.8).unwrap());
+        let program = b.finish();
+        let mut ws = TrajectoryWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            ws.reset_zero(3);
+            ws.run_stochastic(&program, &mut rng);
+            assert!((ws.norm_sqr() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn amplitude_damping_unravels_to_ground_state() {
+        // γ = 1 damping always jumps |1⟩ → |0⟩, whichever branch fires.
+        let ch = KrausChannel::amplitude_damping(1.0);
+        let mut ws = TrajectoryWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            ws.reset_zero(1);
+            m2_on(
+                &mut ws.amps,
+                0,
+                &GateKind::X.entries_1q(0.0).unwrap(),
+                MatClass::Real,
+            );
+            ws.apply_channel_stochastic(&ch, &[0], &mut rng);
+            assert!(ws.prob_one(0) < 1e-12);
+            assert!((ws.norm_sqr() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generic_kraus_unraveling_matches_channel_average() {
+        // |+⟩ through amplitude damping: exact ρ vs trajectory average.
+        let gamma = 0.35;
+        let ch = KrausChannel::amplitude_damping(gamma);
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_gate(&BoundGate::one(GateKind::H, 0, 0.0));
+        rho.apply_channel(&ch, &[0]);
+        let exact = rho.prob_one(0);
+
+        let mut ws = TrajectoryWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            ws.reset_zero(1);
+            m2_on(
+                &mut ws.amps,
+                0,
+                GateKind::H.fixed_entries_1q().unwrap(),
+                MatClass::Real,
+            );
+            ws.apply_channel_stochastic(&ch, &[0], &mut rng);
+            sum += ws.prob_one(0);
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - exact).abs() < 0.01,
+            "trajectory mean {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported qubit count")]
+    fn workspace_rejects_oversized_register() {
+        let mut ws = TrajectoryWorkspace::new();
+        ws.reset_zero(MAX_TRAJECTORY_QUBITS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trajectory")]
+    fn estimate_rejects_zero_trajectories() {
+        let mut b = ProgramBuilder::new(1);
+        b.depolarize_1q(0, 0.1);
+        let program = b.finish();
+        let mut ws = TrajectoryWorkspace::new();
+        let _ = estimate_prob_one(&mut ws, &program, &[0], 0, 0);
+    }
+}

@@ -272,8 +272,11 @@ impl Circuit {
         self.ops.iter().map(|op| op.bind(theta)).collect()
     }
 
-    /// Returns a copy with every parameterised gate whose bound angle is
-    /// the identity (`0 mod 2π` within `tol`) removed.
+    /// Returns a copy with every parameterised gate whose bound angle makes
+    /// it the identity (within `tol`) removed: `0 mod 2π` for plain
+    /// rotations (at `2π` the `−I` is a global phase), `0 mod 4π` for
+    /// controlled rotations (at `2π` the control promotes the target's
+    /// `−I` to a physical controlled phase, so the gate must stay).
     ///
     /// This mirrors what a production transpiler does before routing: a
     /// `CRY(0)` never reaches the device, so neither do the SWAPs that
@@ -290,19 +293,11 @@ impl Circuit {
             self.n_params,
             theta.len()
         );
-        let tau = std::f64::consts::TAU;
-        let is_identity = |angle: f64| {
-            let mut a = angle % tau;
-            if a < 0.0 {
-                a += tau;
-            }
-            a < tol || (tau - a) < tol
-        };
         let ops = self
             .ops
             .iter()
             .filter(|op| match op.param {
-                Some(p) => !is_identity(p.resolve(theta)),
+                Some(p) => !angle_is_identity(op.kind, p.resolve(theta), tol),
                 None => true,
             })
             .cloned()
@@ -323,6 +318,26 @@ impl Circuit {
             .map(|(k, _)| k)
             .collect()
     }
+}
+
+/// Whether a parameterised gate of `kind` bound at `angle` is the identity
+/// within `tol`.
+///
+/// Plain rotations have period 2π (at `2π` the unitary is `−I`, an
+/// unobservable global phase); controlled rotations have period 4π — at
+/// `2π` the control promotes the target's `−I` to a *physical* controlled
+/// phase (`CR(2π) = diag(1, 1, −1, −1)`), so only multiples of 4π vanish.
+///
+/// This is the single identity-angle rule shared by [`Circuit::simplified`]
+/// and `transpile::expand`, so the pre-routing drop pass and the
+/// native-gate expansion can never disagree about which gates exist.
+pub fn angle_is_identity(kind: GateKind, angle: f64, tol: f64) -> bool {
+    let period = std::f64::consts::TAU * kind.arity() as f64;
+    let mut a = angle % period;
+    if a < 0.0 {
+        a += period;
+    }
+    a < tol || (period - a) < tol
 }
 
 #[cfg(test)]
@@ -376,13 +391,25 @@ mod tests {
             .crz(1, 2, Param::Idx(2))
             .h(2)
             .rx(1, Param::Fixed(0.0));
-        let s = c.simplified(&[0.0, 1.2, std::f64::consts::TAU, 9.9], 1e-9);
-        // RY(0), CRZ(2π) and fixed RX(0) vanish; CRY(1.2) and H stay.
+        let s = c.simplified(&[0.0, 1.2, 2.0 * std::f64::consts::TAU, 9.9], 1e-9);
+        // RY(0), CRZ(4π) and fixed RX(0) vanish; CRY(1.2) and H stay.
         assert_eq!(s.len(), 2);
         assert_eq!(s.ops()[0].kind, quasim::gate::GateKind::Cry);
         assert_eq!(s.ops()[1].kind, quasim::gate::GateKind::H);
         // Parameter space is unchanged (indices still valid).
         assert_eq!(s.n_params(), c.n_params());
+    }
+
+    #[test]
+    fn simplified_keeps_controlled_rotation_at_two_pi() {
+        // CRZ(2π) = diag(1, 1, −1, −1): the control turns the target's −I
+        // global phase into a physical controlled phase, so it must not be
+        // simplified away (controlled rotations have period 4π).
+        let mut c = Circuit::new(2);
+        c.crz(0, 1, Param::Idx(0)).ry(0, Param::Idx(1));
+        let s = c.simplified(&[std::f64::consts::TAU, std::f64::consts::TAU], 1e-9);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.ops()[0].kind, quasim::gate::GateKind::Crz);
     }
 
     #[test]

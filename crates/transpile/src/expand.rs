@@ -4,20 +4,24 @@
 //! exactly on a *compression level* produce **shorter physical circuits**
 //! (Motivation 1 / Fig. 3). Concretely, after binding angles:
 //!
-//! - a rotation at `0 (mod 2π)` vanishes entirely;
+//! - a plain rotation at `0 (mod 2π)` vanishes entirely (at `2π` the
+//!   unitary is `−I`, an unobservable global phase);
 //! - a rotation at `π/2, π, 3π/2` needs **one** physical pulse instead of
 //!   the generic **two** (on IBM hardware, arbitrary 1q rotations compile to
 //!   `RZ·SX·RZ·SX·RZ` with free virtual-Z, i.e. two SX pulses, while
 //!   quarter-turn angles need a single pulse);
-//! - a controlled rotation at `0 (mod 2π)` vanishes, removing **two CNOTs**;
-//!   at `π` its two half-angle rotations become single-pulse;
+//! - a controlled rotation at `0 (mod 4π)` vanishes, removing **two
+//!   CNOTs**; at `π` its two half-angle rotations become single-pulse. The
+//!   period is 4π, not 2π: at `2π` the target rotation is `−I`, which the
+//!   control promotes from a global phase to a physical controlled phase
+//!   (`CRY(2π) = diag(1, 1, −1, −1)`), so the gate must still be emitted;
 //! - inserted SWAPs expand to three CNOTs.
 //!
 //! The expansion keeps gate *unitaries* exact (rotations are applied as
 //! rotations) and encodes hardware cost in per-op pulse counts, which the
 //! executor converts into depolarising-channel strengths.
 
-use crate::circuit::Param;
+use crate::circuit::{angle_is_identity, Param};
 use crate::route::PhysicalCircuit;
 use calibration::snapshot::CalibrationSnapshot;
 use calibration::topology::Topology;
@@ -211,7 +215,7 @@ pub fn expand(phys: &PhysicalCircuit, theta: &[f64]) -> NativeCircuit {
         match op.kind {
             GateKind::Rx | GateKind::Ry | GateKind::Rz | GateKind::Phase => {
                 let pulses = rotation_pulses(angle);
-                if norm_angle(angle).abs() >= ANGLE_TOL {
+                if !angle_is_identity(op.kind, angle, ANGLE_TOL) {
                     ops.push(NativeOp {
                         gate: BoundGate::one(op.kind, op.qubits[0], angle),
                         pulses,
@@ -219,8 +223,9 @@ pub fn expand(phys: &PhysicalCircuit, theta: &[f64]) -> NativeCircuit {
                 }
             }
             GateKind::Crx | GateKind::Cry | GateKind::Crz => {
-                let a = norm_angle(angle);
-                if a.abs() >= ANGLE_TOL {
+                // Identity only at multiples of 4π (see `angle_is_identity`:
+                // at 2π the control promotes −I to a physical phase).
+                if !angle_is_identity(op.kind, angle, ANGLE_TOL) {
                     // CX-conjugation flips the rotation sign only for axes
                     // that anticommute with X, so CRY/CRZ decompose directly;
                     // CRX conjugates the target with H around a CRZ pattern

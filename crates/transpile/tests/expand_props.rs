@@ -1,0 +1,153 @@
+//! Property-based test of [`transpile::expand`]: native-gate expansion
+//! must preserve the circuit *unitary*, not just measurement marginals.
+//! For random circuits and random parameter bindings (generic angles mixed
+//! with exact compression levels, where the expansion takes its special
+//! cases), the state prepared by the expanded physical circuit must have
+//! fidelity ≥ 1 − 1e−9 with the logical circuit's state after undoing the
+//! routing permutation.
+
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use quasim::math::Complex64;
+use quasim::statevector::StateVector;
+use std::f64::consts::FRAC_PI_2;
+use transpile::circuit::{Circuit, Param};
+use transpile::expand::expand;
+use transpile::route::route_identity;
+
+#[derive(Debug, Clone, Copy)]
+enum RawGate {
+    Ry(usize),
+    Rx(usize),
+    Rz(usize),
+    H(usize),
+    Cx(usize, usize),
+    Cry(usize, usize),
+    Crx(usize, usize),
+    Crz(usize, usize),
+}
+
+fn arb_raw_gate() -> impl Strategy<Value = RawGate> {
+    (0usize..8, 0usize..64, 0usize..64).prop_map(|(k, a, b)| match k {
+        0 => RawGate::Ry(a),
+        1 => RawGate::Rx(a),
+        2 => RawGate::Rz(a),
+        3 => RawGate::H(a),
+        4 => RawGate::Cx(a, b),
+        5 => RawGate::Cry(a, b),
+        6 => RawGate::Crx(a, b),
+        _ => RawGate::Crz(a, b),
+    })
+}
+
+/// Angles drawn from generic values *and* the exact quarter-turn levels,
+/// so the pulse-count special cases (vanish at 0, single pulse at k·π/2)
+/// are exercised alongside the generic two-pulse path.
+fn arb_angle() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-7.0f64..7.0).boxed(),
+        (0i32..8).prop_map(|k| k as f64 * FRAC_PI_2).boxed(),
+        Just(0.0).boxed(),
+    ]
+}
+
+fn build_circuit(n: usize, raw: &[RawGate]) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut next = 0usize;
+    for g in raw {
+        match *g {
+            RawGate::Ry(q) => {
+                c.ry(q % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::Rx(q) => {
+                c.rx(q % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::Rz(q) => {
+                c.rz(q % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::H(q) => {
+                c.h(q % n);
+            }
+            RawGate::Cx(a, b) if a % n != b % n => {
+                c.cx(a % n, b % n);
+            }
+            RawGate::Cry(a, b) if a % n != b % n => {
+                c.cry(a % n, b % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::Crx(a, b) if a % n != b % n => {
+                c.crx(a % n, b % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::Crz(a, b) if a % n != b % n => {
+                c.crz(a % n, b % n, Param::Idx(next));
+                next += 1;
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Embeds the logical state into the physical register according to the
+/// routed circuit's final layout (`layout[logical] = physical`).
+fn permute_to_physical(logical: &StateVector, layout: &[usize]) -> StateVector {
+    let n = logical.n_qubits();
+    assert_eq!(layout.len(), n, "layout must cover the register");
+    let dim = 1usize << n;
+    let mut amps = vec![Complex64::ZERO; dim];
+    for (i, &a) in logical.amplitudes().iter().enumerate() {
+        let mut j = 0usize;
+        for (l, &p) in layout.iter().enumerate() {
+            if (i >> l) & 1 == 1 {
+                j |= 1 << p;
+            }
+        }
+        amps[j] = a;
+    }
+    StateVector::from_amplitudes(amps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Expansion preserves the circuit unitary: fidelity between the
+    /// expanded physical state and the permuted logical state is 1 up to
+    /// floating-point rounding, for arbitrary circuits and bindings.
+    #[test]
+    fn expansion_preserves_unitary_fidelity(
+        n in 2usize..5,
+        raw in proptest::collection::vec(arb_raw_gate(), 1..20),
+        angles in proptest::collection::vec(arb_angle(), 20),
+    ) {
+        let circuit = build_circuit(n, &raw);
+        let theta = &angles[..circuit.n_params()];
+
+        // Logical reference on the logical register.
+        let mut reference = StateVector::zero_state(n);
+        reference.run(&circuit.bind(theta));
+
+        // Route on a line of exactly n qubits (forces SWAP insertion for
+        // non-adjacent pairs without leaving idle physical qubits), then
+        // expand at the bound parameters and run the native ops.
+        let topo = Topology::line(n);
+        let phys = route_identity(&circuit, &topo);
+        let native = expand(&phys, theta);
+        let mut state = StateVector::zero_state(n);
+        for op in native.ops() {
+            state.apply(&op.gate);
+        }
+
+        let expected = permute_to_physical(&reference, native.final_layout());
+        let fidelity = expected.fidelity(&state);
+        prop_assert!(
+            fidelity >= 1.0 - 1e-9,
+            "fidelity {fidelity} below tolerance for {} ops at θ = {:?}",
+            native.ops().len(),
+            theta
+        );
+    }
+}

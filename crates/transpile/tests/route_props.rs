@@ -1,0 +1,165 @@
+//! Property-based tests of [`transpile::route`]: for arbitrary circuits on
+//! every supported device — `ibm_belem`, `ibm_jakarta`, the 16-qubit
+//! `ibm_guadalupe`, and generic line/ring maps — the routed circuit must
+//! place every two-qubit gate on a physical coupling edge, and the tracked
+//! qubit permutation must be exactly what the inserted SWAPs imply.
+
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use quasim::gate::GateKind;
+use transpile::circuit::{Circuit, Param};
+use transpile::route::route;
+
+/// The devices routing must support, including the 16-qubit guadalupe map
+/// that only the trajectory simulation backend can execute.
+fn device(idx: usize) -> Topology {
+    match idx {
+        0 => Topology::ibm_belem(),
+        1 => Topology::ibm_jakarta(),
+        2 => Topology::ibm_guadalupe(),
+        3 => Topology::line(6),
+        _ => Topology::ring(6),
+    }
+}
+
+/// A raw gate spec; qubit indices are reduced modulo the logical register
+/// size at build time so one strategy serves every device.
+#[derive(Debug, Clone, Copy)]
+enum RawGate {
+    Ry(usize),
+    Rz(usize),
+    H(usize),
+    Cx(usize, usize),
+    Cry(usize, usize),
+    Crz(usize, usize),
+}
+
+fn arb_raw_gate() -> impl Strategy<Value = RawGate> {
+    (0usize..6, 0usize..64, 0usize..64).prop_map(|(k, a, b)| match k {
+        0 => RawGate::Ry(a),
+        1 => RawGate::Rz(a),
+        2 => RawGate::H(a),
+        3 => RawGate::Cx(a, b),
+        4 => RawGate::Cry(a, b),
+        _ => RawGate::Crz(a, b),
+    })
+}
+
+/// Builds a circuit over `n` logical qubits, skipping degenerate 2-qubit
+/// specs whose operands collide after the modulo reduction.
+fn build_circuit(n: usize, raw: &[RawGate]) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut next = 0usize;
+    for g in raw {
+        match *g {
+            RawGate::Ry(q) => {
+                c.ry(q % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::Rz(q) => {
+                c.rz(q % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::H(q) => {
+                c.h(q % n);
+            }
+            RawGate::Cx(a, b) if a % n != b % n => {
+                c.cx(a % n, b % n);
+            }
+            RawGate::Cry(a, b) if a % n != b % n => {
+                c.cry(a % n, b % n, Param::Idx(next));
+                next += 1;
+            }
+            RawGate::Crz(a, b) if a % n != b % n => {
+                c.crz(a % n, b % n, Param::Idx(next));
+                next += 1;
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every two-qubit op of a routed circuit — the original gates *and*
+    /// the inserted SWAPs — sits on a coupling edge of the device.
+    #[test]
+    fn routed_two_qubit_gates_sit_on_edges(
+        device_idx in 0usize..5,
+        raw in proptest::collection::vec(arb_raw_gate(), 0..24),
+        wide in any::<bool>(),
+    ) {
+        let topo = device(device_idx);
+        // Exercise both narrow circuits (lots of idle physical qubits) and
+        // circuits as wide as the device allows.
+        let n = if wide { topo.n_qubits().min(6) } else { 2 + device_idx % 3 };
+        let circuit = build_circuit(n, &raw);
+        let phys = route(&circuit, &topo, None);
+        for (i, op) in phys.ops().iter().enumerate() {
+            if let [a, b] = op.qubits.as_slice() {
+                prop_assert!(
+                    topo.is_edge(*a, *b),
+                    "op {i} ({:?}) addresses uncoupled pair ({a},{b}) on {}",
+                    op.kind,
+                    topo.name()
+                );
+            }
+        }
+        prop_assert!(phys.respects_topology(&topo));
+    }
+
+    /// The routed op stream is the logical op stream with SWAPs spliced
+    /// in: replaying the SWAPs from the initial layout reproduces both the
+    /// physical operands of every gate and the final layout.
+    #[test]
+    fn layout_tracking_is_consistent_with_inserted_swaps(
+        device_idx in 0usize..5,
+        raw in proptest::collection::vec(arb_raw_gate(), 0..24),
+    ) {
+        let topo = device(device_idx);
+        let n = (2 + raw.len() % 4).min(topo.n_qubits());
+        let circuit = build_circuit(n, &raw);
+        let phys = route(&circuit, &topo, None);
+
+        // layout[logical] = physical, replayed op by op.
+        let mut layout = phys.initial_layout().to_vec();
+        let mut logical_ops = circuit.ops().iter();
+        for op in phys.ops() {
+            if op.kind == GateKind::Swap {
+                // A SWAP exchanges whatever logical qubits live on its
+                // physical operands (either side may be unoccupied).
+                let (pa, pb) = (op.qubits[0], op.qubits[1]);
+                for slot in layout.iter_mut() {
+                    if *slot == pa {
+                        *slot = pb;
+                    } else if *slot == pb {
+                        *slot = pa;
+                    }
+                }
+            } else {
+                let orig = logical_ops.next().expect("more routed ops than logical ops");
+                prop_assert_eq!(op.kind, orig.kind);
+                prop_assert_eq!(&op.param, &orig.param);
+                let expect: Vec<usize> = orig.qubits.iter().map(|&l| layout[l]).collect();
+                prop_assert!(
+                    op.qubits == expect,
+                    "gate operands {:?} disagree with the SWAP-tracked layout {:?}",
+                    op.qubits,
+                    expect
+                );
+            }
+        }
+        prop_assert!(logical_ops.next().is_none(), "routing dropped a gate");
+        prop_assert_eq!(layout, phys.final_layout().to_vec());
+
+        // The final layout must still be an injective logical→physical map.
+        let mut seen = vec![false; topo.n_qubits()];
+        for &p in phys.final_layout() {
+            prop_assert!(p < topo.n_qubits());
+            prop_assert!(!seen[p], "final layout maps two logical qubits to {p}");
+            seen[p] = true;
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Cross-backend consistency harness: the Monte-Carlo trajectory backend
+//! must statistically agree with the bit-exact density-matrix reference.
+//!
+//! Trajectories are stochastic, so the correctness story is itself
+//! statistical — but **not flaky**: every check runs under a fixed seed
+//! (hence is deterministic), and the tolerance is *derived* from the
+//! trajectory batch's own shot variance (`k · SE` with the standard error
+//! the engine reports), never hand-tuned.
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::executor::{parallel, pure_z_scores, NoiseOptions, NoisyExecutor, SimBackend};
+use qnn::model::VqcModel;
+
+/// The three Table I models at their paper shapes (Quick scale uses these
+/// exact circuits; only day/sample counts shrink).
+fn paper_models() -> Vec<VqcModel> {
+    vec![
+        VqcModel::paper_model(4, 4, 16, 2), // 4-class MNIST
+        VqcModel::paper_model(4, 3, 4, 3),  // Iris
+        VqcModel::paper_model(4, 2, 4, 2),  // Seismic
+    ]
+}
+
+fn features_for(model: &VqcModel) -> Vec<f64> {
+    (0..model.n_features())
+        .map(|i| 0.15 + 0.2 * i as f64)
+        .collect()
+}
+
+/// Exact-channel options (no readout, no shot sampling) so the only
+/// difference between backends is the trajectory unraveling itself.
+fn exact_options(backend: SimBackend, trajectories: u32) -> NoiseOptions {
+    NoiseOptions {
+        scale: 3.0,
+        readout: false,
+        shots: None,
+        shot_seed: 9,
+        backend,
+        trajectories,
+    }
+}
+
+/// Trajectory z-scores agree with the exact density-matrix z-scores within
+/// a confidence bound computed from the trajectory batch's own standard
+/// error: `|z_t − z_d| ≤ 6 · SE_z + ε`. A 6σ bound on a seeded run either
+/// holds forever or flags a genuine estimator bug — there is no flaky
+/// middle ground.
+#[test]
+fn trajectory_zscores_within_derived_confidence_of_density() {
+    let topo = Topology::ibm_belem();
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1.2e-2, 0.02);
+    for model in paper_models() {
+        let features = features_for(&model);
+        let weights = model.init_weights(11);
+
+        let density = NoisyExecutor::new(&model, &topo, exact_options(SimBackend::Density, 0));
+        let z_d = density.z_scores_seeded(&features, &weights, &snap, 0);
+
+        let trajectory =
+            NoisyExecutor::new(&model, &topo, exact_options(SimBackend::Trajectory, 800));
+        let est = trajectory.trajectory_estimate(&features, &weights, &snap, 0);
+        let z_t = est.z_scores();
+        let se_z = est.z_std_err();
+
+        // The public z_scores path must be exactly the estimate's means
+        // (readout and shot noise are disabled here).
+        let z_api = trajectory.z_scores_seeded(&features, &weights, &snap, 0);
+        for (a, b) in z_api.iter().zip(z_t.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        for (c, ((t, d), se)) in z_t.iter().zip(z_d.iter()).zip(se_z.iter()).enumerate() {
+            let bound = 6.0 * se + 1e-9;
+            assert!(
+                (t - d).abs() <= bound,
+                "model {}q x{}: class {c} trajectory z = {t} vs density z = {d} \
+                 exceeds derived bound {bound} (SE = {se})",
+                model.n_qubits(),
+                model.repeats(),
+            );
+            // The bound itself must be meaningful: with noise present and
+            // 800 trajectories the SE is small but non-degenerate.
+            assert!(*se > 0.0 && *se < 0.1, "implausible standard error {se}");
+        }
+    }
+}
+
+/// Seeded trajectory evaluation is pure: identical inputs replay identical
+/// bits, and the batch evaluator returns the same bits at 1, 4, and 16
+/// threads (the same contract the density backend holds).
+#[test]
+fn trajectory_batch_is_bit_identical_across_threads() {
+    let topo = Topology::ibm_belem();
+    let model = VqcModel::paper_model(4, 3, 4, 3);
+    let exec = NoisyExecutor::new(
+        &model,
+        &topo,
+        NoiseOptions {
+            scale: 3.0,
+            backend: SimBackend::Trajectory,
+            trajectories: 64,
+            ..NoiseOptions::with_shots(1024, 42)
+        },
+    );
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.03);
+    let weights = model.init_weights(3);
+    let samples: Vec<qnn::data::Sample> = (0..6)
+        .map(|i| qnn::data::Sample {
+            features: (0..4).map(|f| 0.1 * (i + f) as f64).collect(),
+            label: i % 3,
+        })
+        .collect();
+
+    let reference = parallel::batch_z_scores(&exec, &samples, &weights, &snap, 5, 1);
+    for threads in [4usize, 16] {
+        let got = parallel::batch_z_scores(&exec, &samples, &weights, &snap, 5, threads);
+        for (i, (a, b)) in reference.iter().zip(got.iter()).enumerate() {
+            for (j, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "sample {i} score {j} differs at {threads} threads: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// At zero calibration noise no stochastic atom is emitted, so a single
+/// trajectory is exact and both backends collapse onto the pure path.
+#[test]
+fn both_backends_match_pure_at_zero_noise() {
+    let topo = Topology::ibm_belem();
+    let zero = CalibrationSnapshot::uniform(&topo, 0, 0.0, 0.0, 0.0);
+    for model in paper_models() {
+        let features = features_for(&model);
+        let weights = model.init_weights(7);
+        let z_pure = pure_z_scores(&model, &features, &weights);
+        for backend in [SimBackend::Density, SimBackend::Trajectory] {
+            let exec = NoisyExecutor::new(&model, &topo, exact_options(backend, 4));
+            let z = exec.z_scores_seeded(&features, &weights, &zero, 0);
+            for (a, b) in z.iter().zip(z_pure.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-8,
+                    "{} backend deviates from pure at zero noise: {a} vs {b}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// More trajectories must tighten the estimate toward the exact value
+/// (variance-reduction sanity: the error bound shrinks like 1/√N).
+#[test]
+fn trajectory_error_bound_tightens_with_budget() {
+    let topo = Topology::ibm_belem();
+    let model = VqcModel::paper_model(4, 2, 4, 2);
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.0);
+    let features = features_for(&model);
+    let weights = model.init_weights(5);
+
+    let se_at = |n: u32| -> f64 {
+        let exec = NoisyExecutor::new(&model, &topo, exact_options(SimBackend::Trajectory, n));
+        let est = exec.trajectory_estimate(&features, &weights, &snap, 0);
+        est.std_err.iter().sum::<f64>() / est.std_err.len() as f64
+    };
+    let coarse = se_at(50);
+    let fine = se_at(3200);
+    assert!(
+        fine < coarse / 4.0,
+        "64x the trajectories should cut SE by ~8x: {coarse} -> {fine}"
+    );
+}
+
+/// The engine selected through `QUCAD_BACKEND` (the CI matrix axis) runs
+/// every paper model end to end with sane outputs — under the trajectory
+/// matrix leg this is the stochastic engine, under density the exact one.
+#[test]
+fn env_selected_backend_evaluates_all_paper_models() {
+    let backend = SimBackend::from_env();
+    let topo = Topology::ibm_belem();
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 1e-3, 2e-2, 0.02);
+    for model in paper_models() {
+        let exec = NoisyExecutor::new(
+            &model,
+            &topo,
+            NoiseOptions {
+                scale: 3.0,
+                backend,
+                trajectories: 32,
+                ..NoiseOptions::with_shots(1024, 1)
+            },
+        );
+        let z = exec.z_scores_seeded(&features_for(&model), &model.init_weights(1), &snap, 0);
+        assert_eq!(z.len(), model.n_classes());
+        assert!(z.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+    }
+}
+
+/// The full QuCAD pipeline — offline constructor (profiling, clustering,
+/// per-centroid compression) and online manager — driven end to end on
+/// the engine selected by `QUCAD_BACKEND`, so the trajectory leg of the
+/// CI matrix genuinely exercises `build_offline`/`online_day` through the
+/// stochastic engine (the other root integration tests pin density).
+#[test]
+fn env_selected_backend_runs_offline_online_pipeline() {
+    use calibration::history::{FluctuatingHistory, HistoryConfig};
+    use qucad::admm::AdmmConfig;
+    use qucad::framework::{Qucad, QucadConfig};
+
+    let topo = Topology::ibm_belem();
+    let model = VqcModel::paper_model(4, 3, 4, 1);
+    let history = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(16, 5), 12);
+    let data = qnn::data::Dataset::iris(3).truncated(16, 12);
+    let noise = NoiseOptions {
+        scale: 3.0,
+        backend: SimBackend::from_env(),
+        trajectories: 16, // small budget keeps the trajectory leg fast
+        ..NoiseOptions::with_shots(1024, 3)
+    };
+    let config = QucadConfig {
+        k: 2,
+        max_offline_evals: 4,
+        eval_samples: 8,
+        admm: AdmmConfig {
+            rounds: 2,
+            theta_steps: 1,
+            batch_size: 6,
+            finetune_steps: 0,
+            ..AdmmConfig::default()
+        },
+        ..QucadConfig::default()
+    };
+    let base = model.init_weights(1);
+    let (mut qucad, stats) = Qucad::build_offline(
+        &model,
+        &topo,
+        noise,
+        history.offline(),
+        &data.train,
+        &data.test,
+        &base,
+        &config,
+    );
+    assert_eq!(stats.n_entries, 2);
+    assert!(stats.n_evals > 0);
+    for snap in history.online().iter().take(3) {
+        let (weights, _, _) = qucad.online_day(snap);
+        assert_eq!(weights.len(), model.n_weights());
+    }
+}
+
+/// The 16-qubit `ibm_guadalupe` register is the trajectory backend's
+/// exclusive territory: the density backend refuses it with a clear
+/// message, the trajectory backend evaluates it.
+#[test]
+fn guadalupe_runs_on_trajectory_and_is_refused_by_density() {
+    let topo = Topology::ibm_guadalupe();
+    let model = VqcModel::paper_model(topo.n_qubits(), 4, 16, 1);
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-4, 1e-2, 0.02);
+    let features: Vec<f64> = (0..16).map(|i| 0.1 * i as f64).collect();
+    let weights = model.init_weights(2);
+
+    let traj = NoisyExecutor::new(&model, &topo, exact_options(SimBackend::Trajectory, 8));
+    let z = traj.z_scores_seeded(&features, &weights, &snap, 0);
+    assert_eq!(z.len(), 4);
+    assert!(z.iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+
+    let dens = NoisyExecutor::new(&model, &topo, exact_options(SimBackend::Density, 0));
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dens.z_scores_seeded(&features, &weights, &snap, 0)
+    }))
+    .expect_err("density backend must refuse a 16-qubit register");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    assert!(
+        msg.contains("trajectory"),
+        "refusal must point at the trajectory backend, got: {msg}"
+    );
+}

@@ -1,0 +1,108 @@
+//! Golden-fixture regression test: the density backend's Quick-scale
+//! Table I z-scores are pinned **bit-exactly** against a committed JSON
+//! fixture, so silent numeric drift — a reordered reduction, a "harmless"
+//! kernel tweak, a changed default — fails loudly instead of skewing every
+//! table by a little.
+//!
+//! The fixture serialises each score as both its decimal value (for
+//! humans) and its raw IEEE-754 bit pattern (for the comparison), and the
+//! assertion compares the *rendered* fixture strings, so any bit change
+//! anywhere in the pipeline (training, transpilation, fused simulation,
+//! shot noise) is caught.
+//!
+//! Intentional numeric changes regenerate the fixture with
+//! `QUCAD_GOLDEN_REGEN=1 cargo test --test golden_zscores` — review the
+//! diff and commit it alongside the change that caused it.
+
+use qnn::executor::{NoiseOptions, NoisyExecutor, SimBackend};
+use qucad_bench::{Experiment, Scale, Task};
+
+const SAMPLES_PER_TASK: usize = 4;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1_quick_zscores.json")
+}
+
+fn task_slug(task: Task) -> &'static str {
+    match task {
+        Task::Mnist4 => "mnist4",
+        Task::Iris => "iris",
+        Task::Seismic => "seismic",
+    }
+}
+
+/// Renders the fixture: for every Table I task at Quick scale (seed 42,
+/// the table1_main default), the density-backend z-scores of the trained
+/// base model on the first online day for the first few test samples.
+fn render_fixture() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"description\": \"Quick-scale Table I z-scores, density backend, seed 42; bits are IEEE-754 f64 patterns and are compared exactly\",\n");
+    out.push_str("  \"tasks\": [\n");
+    let tasks = Task::table1();
+    for (ti, &task) in tasks.iter().enumerate() {
+        let exp = Experiment::prepare(task, Scale::Quick, 42);
+        // Pin the engine: this fixture is the *density* reference
+        // regardless of any QUCAD_BACKEND override in the environment.
+        let exec = NoisyExecutor::new(
+            &exp.model,
+            &exp.topology,
+            NoiseOptions {
+                backend: SimBackend::Density,
+                ..exp.noise
+            },
+        );
+        let snap = &exp.history.online()[0];
+        out.push_str(&format!(
+            "    {{\n      \"task\": \"{}\",\n      \"samples\": [\n",
+            task_slug(task)
+        ));
+        let n = exp.dataset.test.len().min(SAMPLES_PER_TASK);
+        for (si, sample) in exp.dataset.test.iter().take(n).enumerate() {
+            let z = exec.z_scores_seeded(&sample.features, &exp.base_weights, snap, si as u64);
+            out.push_str(&format!("        {{\"sample\": {si}, \"zscores\": ["));
+            for (zi, v) in z.iter().enumerate() {
+                if zi > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"value\": {v:.17e}, \"bits\": \"0x{:016x}\"}}",
+                    v.to_bits()
+                ));
+            }
+            out.push_str("]}");
+            out.push_str(if si + 1 < n { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n    }");
+        out.push_str(if ti + 1 < tasks.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[test]
+fn table1_quick_density_zscores_are_bit_exact() {
+    let rendered = render_fixture();
+    let path = golden_path();
+    if std::env::var("QUCAD_GOLDEN_REGEN").is_ok_and(|v| !v.trim().is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             QUCAD_GOLDEN_REGEN=1 cargo test --test golden_zscores",
+            path.display()
+        )
+    });
+    assert!(
+        committed == rendered,
+        "density-backend z-scores drifted from the committed golden fixture \
+         {}.\nIf the numeric change is intentional, regenerate with \
+         QUCAD_GOLDEN_REGEN=1 cargo test --test golden_zscores and commit the \
+         diff; otherwise a refactor silently changed simulation bits.",
+        path.display()
+    );
+}
