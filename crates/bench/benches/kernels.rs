@@ -176,6 +176,87 @@ fn bench_fused(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trajectory(c: &mut Criterion) {
+    use quasim::fused::ProgramBuilder;
+    use quasim::trajectory::{
+        estimate_prob_one, estimate_prob_one_panel, TrajectoryPanel, TrajectoryWorkspace,
+    };
+
+    // A 10-qubit noisy ring ladder: the program shape the executor hands
+    // the trajectory engine (rotation+channel and CX+channel segments).
+    let n = 10usize;
+    let mut b = ProgramBuilder::new(n);
+    for q in 0..n {
+        b.unitary_1q(q, GateKind::Ry.entries_1q(0.3 + 0.1 * q as f64).unwrap());
+        b.depolarize_1q(q, 0.002);
+    }
+    for q in 0..n {
+        b.cx(q, (q + 1) % n);
+        b.depolarize_2q(0.01, q, (q + 1) % n);
+    }
+    for q in 0..n {
+        b.unitary_1q(q, GateKind::Rz.entries_1q(-0.2 * q as f64).unwrap());
+        b.depolarize_1q(q, 0.002);
+    }
+    let program = b.finish();
+    let qubits: Vec<usize> = (0..n).collect();
+    let n_traj = 64u32;
+
+    let mut g = c.benchmark_group("trajectory");
+    g.sample_size(20);
+    g.bench_function("per_trajectory_10q_64t", |bch| {
+        let mut ws = TrajectoryWorkspace::new();
+        bch.iter(|| estimate_prob_one(&mut ws, black_box(&program), &qubits, n_traj, 7))
+    });
+    // Panel sweeps at B ∈ {1, 8, 64}: same bits, amortised dispatch.
+    for width in [1usize, 8, 64] {
+        g.bench_function(&format!("panel_b{width}_10q_64t"), |bch| {
+            let mut panel = TrajectoryPanel::new();
+            bch.iter(|| {
+                estimate_prob_one_panel(&mut panel, black_box(&program), &qubits, n_traj, 7, width)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rebind(c: &mut Criterion) {
+    use transpile::expand::ANGLE_TOL;
+    use transpile::route::route;
+    use transpile::template::CircuitTemplate;
+
+    let model = VqcModel::paper_model(4, 4, 16, 2);
+    let topo = Topology::ibm_belem();
+    let full: Vec<f64> = (0..model.circuit().n_params())
+        .map(|i| 0.2 + i as f64 * 0.07)
+        .collect();
+
+    let mut g = c.benchmark_group("rebind");
+    // The per-evaluation transpile cost the program cache eliminates …
+    g.bench_function("full_retranspile_mnist", |b| {
+        b.iter(|| {
+            let simplified = model.circuit().simplified(black_box(&full), ANGLE_TOL);
+            let phys = route(&simplified, &topo, None);
+            expand(&phys, &full)
+        })
+    });
+    // … versus the residual rebind cost (expansion only).
+    let template = CircuitTemplate::compile(model.circuit(), &topo, &full, ANGLE_TOL);
+    g.bench_function("template_bind_mnist", |b| {
+        b.iter(|| template.bind(black_box(&full)))
+    });
+    // End-to-end: warm-cache noisy evaluation (every call a cache hit).
+    let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1e-2, 0.02);
+    let weights = model.init_weights(1);
+    let features = vec![0.5; 16];
+    let _ = exec.z_scores_seeded(&features, &weights, &snap, 0); // warm
+    g.bench_function("warm_cache_noisy_eval_mnist", |b| {
+        b.iter(|| exec.z_scores_seeded(black_box(&features), &weights, &snap, 0))
+    });
+    g.finish();
+}
+
 fn bench_transpile(c: &mut Criterion) {
     let mut g = c.benchmark_group("transpile");
     let model = VqcModel::paper_model(4, 4, 16, 2);
@@ -269,6 +350,8 @@ criterion_group!(
     bench_statevector,
     bench_density,
     bench_fused,
+    bench_trajectory,
+    bench_rebind,
     bench_transpile,
     bench_framework,
     bench_parallel_eval

@@ -3,10 +3,16 @@
 //!
 //! Times the `Scale::Quick` Table I evaluation path (per-day accuracy of
 //! the base model over the online phase, plus per-sample noisy `z_scores`
-//! micro sections) and writes a machine-readable `BENCH_<rev>.json`. With
+//! micro sections), the trajectory backend in both execution shapes
+//! (per-trajectory vs batched panel, on the 16-qubit `fig10_guadalupe`
+//! scenario circuit), and the compile-once/rebind-many transpile split,
+//! and writes a machine-readable `BENCH_<rev>.json`. With
 //! `--check-against=bench/baseline.json` it compares probe-normalised
 //! section costs against the committed baseline and exits non-zero when a
 //! gated section regressed by more than `--max-regression` (default 25%).
+//! The panel and rebind sections are gated, so the regression gate covers
+//! the batched trajectory path and the program-cache rebind path alongside
+//! the fused density path.
 //!
 //! Gated sections run single-threaded so the gate measures kernel speed,
 //! not runner core count; a thread-fanned section is recorded ungated for
@@ -20,6 +26,17 @@
 use qnn::executor::{parallel, NoiseOptions, NoisyExecutor, SimBackend};
 use qucad_bench::perf::{calibration_probe_ms, compare_reports, BenchReport};
 use qucad_bench::{Experiment, Scale, Task};
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use qnn::model::VqcModel;
+use quasim::trajectory::{
+    auto_panel_width, estimate_prob_one, estimate_prob_one_panel, TrajectoryPanel,
+    TrajectoryWorkspace,
+};
+use transpile::expand::ANGLE_TOL;
+use transpile::route::route;
+use transpile::template::CircuitTemplate;
 
 fn arg_value(name: &str) -> Option<String> {
     let prefix = format!("--{name}=");
@@ -173,6 +190,81 @@ fn main() {
                     snap,
                     stream,
                 ));
+            }
+        });
+    }
+
+    // Trajectory backend, both execution shapes, on the fig10_guadalupe
+    // scenario circuit: a 16-qubit register the density engine cannot
+    // touch. The panel section is gated (it is the production trajectory
+    // path); the per-trajectory section documents the amortisation win and
+    // its estimate must match the panel's bit for bit.
+    eprintln!("[perf] guadalupe trajectory sections ...");
+    {
+        let topo = Topology::ibm_guadalupe();
+        let model = VqcModel::paper_model(topo.n_qubits(), 4, 16, 1);
+        let exec = NoisyExecutor::new(
+            &model,
+            &topo,
+            NoiseOptions {
+                scale: 3.0,
+                backend: SimBackend::Trajectory,
+                trajectories: 32,
+                ..NoiseOptions::with_shots(1024, 42)
+            },
+        );
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-4, 1e-2, 0.02);
+        let features: Vec<f64> = (0..16).map(|i| 0.1 * i as f64).collect();
+        let weights = model.init_weights(42);
+        let (measured, program) = exec.compile_program(&features, &weights, &snap);
+        let n_traj = 32u32;
+        let width = auto_panel_width(program.n_qubits());
+
+        let mut ws = TrajectoryWorkspace::new();
+        let per_traj = report.time("trajectory_pertraj_guadalupe_32t", false, || {
+            estimate_prob_one(&mut ws, &program, &measured, n_traj, 7)
+        });
+        let mut panel = TrajectoryPanel::new();
+        let panel_est = report.time("trajectory_panel_guadalupe_32t", true, || {
+            estimate_prob_one_panel(&mut panel, &program, &measured, n_traj, 7, width)
+        });
+        for (a, b) in per_traj.p_one.iter().zip(panel_est.p_one.iter()) {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "panel estimate must be bit-identical to the per-trajectory engine"
+            );
+        }
+        let wall = |name: &str| report.section(name).expect("timed above").wall_ms;
+        println!(
+            "guadalupe trajectory throughput: per-trajectory {:.1} ms, panel(B={width}) {:.1} ms \
+             -> {:.2}x",
+            wall("trajectory_pertraj_guadalupe_32t"),
+            wall("trajectory_panel_guadalupe_32t"),
+            wall("trajectory_pertraj_guadalupe_32t") / wall("trajectory_panel_guadalupe_32t")
+        );
+    }
+
+    // Compile-once/rebind-many: the per-evaluation transpile cost the
+    // program cache eliminates (full simplify → route → expand) versus the
+    // residual rebind cost (expansion only). The rebind section is gated.
+    eprintln!("[perf] rebind sections ...");
+    {
+        let model = VqcModel::paper_model(4, 4, 16, 2);
+        let topo = Topology::ibm_belem();
+        let full: Vec<f64> = (0..model.circuit().n_params())
+            .map(|i| 0.2 + i as f64 * 0.07)
+            .collect();
+        report.time("transpile_from_scratch_mnist4_x256", false, || {
+            for _ in 0..256 {
+                let simplified = model.circuit().simplified(&full, ANGLE_TOL);
+                let phys = route(&simplified, &topo, None);
+                std::hint::black_box(transpile::expand::expand(&phys, &full));
+            }
+        });
+        let template = CircuitTemplate::compile(model.circuit(), &topo, &full, ANGLE_TOL);
+        report.time("transpile_rebind_mnist4_x256", true, || {
+            for _ in 0..256 {
+                std::hint::black_box(template.bind(&full));
             }
         });
     }

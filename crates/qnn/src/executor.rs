@@ -12,6 +12,23 @@
 //! The noisy path is where compression pays off: parameters at compression
 //! levels expand to fewer native ops, so fewer channels are applied.
 //!
+//! # Compile-once / rebind-many
+//!
+//! Each evaluation needs the circuit *re-transpiled at its bound
+//! parameters* (so compressed angles drop gates, and the SWAPs routing
+//! would insert for them). The expensive half of that pipeline — simplify
+//! and route — depends only on the parameters' **structure**
+//! ([`transpile::template::StructureKey`]: which gates sit on identity
+//! angles and vanish), not their raw values, so every executor keeps a
+//! program cache: one simplified+routed
+//! [`transpile::template::CircuitTemplate`] (plus register compaction) per
+//! structure, re-bound per sample (fresh angles) and per day (fresh noise
+//! strengths) with linear passes only. Batch evaluation and training loops
+//! therefore route once per structure instead of once per circuit
+//! evaluation; results are bit-identical to from-scratch compilation (the
+//! `rebind_identity` property tests). [`NoisyExecutor::cache_stats`]
+//! exposes the hit/miss counters.
+//!
 //! # Simulation backends
 //!
 //! The noisy simulation engine is selected by [`SimBackend`] (the
@@ -30,24 +47,31 @@
 //!   [`quasim::density::MAX_DENSITY_QUBITS`] active qubits.
 //! - [`SimBackend::Trajectory`]: Monte-Carlo wavefunction simulation
 //!   ([`quasim::trajectory`]). The *same* fused program is unraveled into
-//!   [`NoiseOptions::trajectories`] stochastic pure-state trajectories on a
-//!   per-executor reusable [`TrajectoryWorkspace`]; per-qubit `P(1)` is the
-//!   trajectory average, an unbiased estimate of the exact channel average
-//!   at O(2^n) per trajectory. This unlocks devices beyond the dense-`ρ`
-//!   cap, e.g. the 16-qubit `ibm_guadalupe`. The trajectory stream is
-//!   seeded from `(shot_seed, stream)` only, so results are deterministic
-//!   and identical across any thread fan-out, exactly like the density
-//!   path.
+//!   [`NoiseOptions::trajectories`] stochastic pure-state trajectories,
+//!   executed in batched panels on a per-executor reusable
+//!   [`TrajectoryPanel`] (each fused op applied once across the whole
+//!   panel; width from `QUCAD_TRAJ_BATCH`, default auto); per-qubit `P(1)`
+//!   is the trajectory average, an unbiased estimate of the exact channel
+//!   average at O(2^n) per trajectory. This unlocks devices beyond the
+//!   dense-`ρ` cap, e.g. the 16-qubit `ibm_guadalupe`. The trajectory
+//!   stream is seeded from `(shot_seed, stream)` only and consumed in
+//!   trajectory-major order regardless of panel width, so results are
+//!   deterministic and identical across any thread fan-out *and* any
+//!   panel width, exactly like the density path.
 
 use crate::model::VqcModel;
 use calibration::snapshot::CalibrationSnapshot;
 use calibration::topology::Topology;
 use quasim::density::{DensityMatrix, SimWorkspace, MAX_DENSITY_QUBITS};
 use quasim::statevector::StateVector;
-use quasim::trajectory::{estimate_prob_one, TrajectoryEstimate, TrajectoryWorkspace};
+use quasim::trajectory::{
+    estimate_prob_one_panel, panel_width_from_env, TrajectoryEstimate, TrajectoryPanel,
+};
+use std::collections::HashMap;
 use transpile::expand::{expand, NativeCircuit, NativeOp, ANGLE_TOL};
 use transpile::fuse::{fuse_native_compacted, QubitCompaction};
 use transpile::route::{route, PhysicalCircuit};
+use transpile::template::{structure_key, CircuitTemplate, StructureKey};
 
 /// Noise-free evaluation: per-class `⟨Z⟩` scores on the logical circuit.
 ///
@@ -208,6 +232,42 @@ impl NoiseOptions {
     }
 }
 
+/// Hit/miss counters of a [`NoisyExecutor`]'s program cache (see
+/// [`NoisyExecutor::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramCacheStats {
+    /// Evaluations served by re-binding a cached template.
+    pub hits: u64,
+    /// Evaluations that ran the full simplify → route pipeline.
+    pub misses: u64,
+}
+
+/// One cached circuit structure: the simplified+routed template plus the
+/// register compaction it induces (both are pure functions of the
+/// [`StructureKey`] for a fixed model and topology).
+#[derive(Debug, Clone)]
+struct CachedStructure {
+    template: CircuitTemplate,
+    compaction: QubitCompaction,
+}
+
+/// Per-executor compile-once/rebind-many cache: one [`CachedStructure`]
+/// per distinct [`StructureKey`] the executor has evaluated.
+///
+/// Training loops move parameters continuously (one generic-angle key),
+/// while compression snaps parameters onto level patterns (one key per
+/// pattern), so the live key set stays small; the entry cap is a backstop
+/// against pathological angle churn, not a tuning knob.
+#[derive(Debug, Clone, Default)]
+struct ProgramCache {
+    entries: HashMap<StructureKey, CachedStructure>,
+    stats: ProgramCacheStats,
+}
+
+/// Backstop cap on cached structures per executor; on overflow the cache
+/// is cleared generationally (recent hot keys re-warm immediately).
+const MAX_CACHED_STRUCTURES: usize = 256;
+
 /// A model routed onto a device, ready for noisy evaluation under any
 /// calibration snapshot.
 ///
@@ -236,10 +296,15 @@ pub struct NoisyExecutor {
     /// Reusable density-matrix storage: one allocation per executor clone
     /// (i.e. per worker thread), reused across every evaluation it runs.
     workspace: std::cell::RefCell<SimWorkspace>,
-    /// Reusable trajectory (pure-state) storage, the trajectory backend's
-    /// counterpart of `workspace`: one allocation per executor clone,
-    /// reused across every trajectory of every evaluation.
-    traj_workspace: std::cell::RefCell<TrajectoryWorkspace>,
+    /// Reusable batched trajectory storage, the trajectory backend's
+    /// counterpart of `workspace`: one panel allocation per executor
+    /// clone, reused across every chunk of every evaluation.
+    traj_panel: std::cell::RefCell<TrajectoryPanel>,
+    /// Compile-once/rebind-many program cache: simplify + route run once
+    /// per circuit structure; later evaluations re-bind angles (per
+    /// sample) and noise strengths (per day) with linear passes only.
+    /// Cloned executors inherit the warm cache.
+    cache: std::cell::RefCell<ProgramCache>,
 }
 
 impl NoisyExecutor {
@@ -258,7 +323,8 @@ impl NoisyExecutor {
             options,
             shot_rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(options.shot_seed)),
             workspace: std::cell::RefCell::new(SimWorkspace::new()),
-            traj_workspace: std::cell::RefCell::new(TrajectoryWorkspace::new()),
+            traj_panel: std::cell::RefCell::new(TrajectoryPanel::new()),
+            cache: std::cell::RefCell::new(ProgramCache::default()),
         }
     }
 
@@ -355,11 +421,52 @@ impl NoisyExecutor {
     }
 
     /// Retranspiles the circuit at the bound parameters (simplify → route →
-    /// expand), shared by the fused and unfused execution paths.
+    /// expand) from scratch; kept as the uncached reference the
+    /// differential-testing oracle ([`Self::z_scores_seeded_unfused`])
+    /// runs on.
     fn retranspile(&self, full: &[f64]) -> NativeCircuit {
         let simplified = self.model.circuit().simplified(full, ANGLE_TOL);
         let phys = route(&simplified, &self.topology, None);
         expand(&phys, full)
+    }
+
+    /// The cached native circuit at the bound parameters: looks the
+    /// parameter vector's [`StructureKey`] up in the program cache,
+    /// re-binding the stored template (a single linear expansion pass) on
+    /// a hit and running the full simplify → route pipeline on a miss.
+    ///
+    /// Bit-identical to [`Self::retranspile`] by the template contract
+    /// (equal keys → value-identical simplified circuits → identical
+    /// routing), which the `rebind_identity` property tests enforce.
+    fn native_at(&self, full: &[f64]) -> (NativeCircuit, QubitCompaction) {
+        let key = structure_key(self.model.circuit(), full, ANGLE_TOL);
+        let mut cache = self.cache.borrow_mut();
+        let cache = &mut *cache;
+        if let Some(entry) = cache.entries.get(&key) {
+            cache.stats.hits += 1;
+            return (entry.template.bind(full), entry.compaction.clone());
+        }
+        cache.stats.misses += 1;
+        let template =
+            CircuitTemplate::compile(self.model.circuit(), &self.topology, full, ANGLE_TOL);
+        let native = template.bind(full);
+        let compaction = self.compaction(&native);
+        if cache.entries.len() >= MAX_CACHED_STRUCTURES {
+            cache.entries.clear();
+        }
+        cache.entries.insert(
+            key,
+            CachedStructure {
+                template,
+                compaction: compaction.clone(),
+            },
+        );
+        (native, compaction)
+    }
+
+    /// Hit/miss counters of the program cache (per executor clone).
+    pub fn cache_stats(&self) -> ProgramCacheStats {
+        self.cache.borrow().stats
     }
 
     /// Compaction of the device register to the qubits this circuit (and
@@ -423,11 +530,12 @@ impl NoisyExecutor {
             .collect()
     }
 
-    /// Shared per-evaluation compilation for both backends: retranspile at
-    /// the bound parameters and compile the native circuit plus its noise
-    /// interleave into a fused program over the compacted register
-    /// (matrices prebound once, same-support runs collapsed into single
-    /// passes).
+    /// Shared per-evaluation compilation for both backends: fetch the
+    /// bound parameters' structure from the program cache (simplify +
+    /// route run once per structure), re-bind the gate matrices at the
+    /// sample's angles, and fuse the native circuit plus the day's noise
+    /// interleave into a program over the compacted register (matrices
+    /// prebound once, same-support runs collapsed into single passes).
     fn compile(
         &self,
         features: &[f64],
@@ -440,11 +548,39 @@ impl NoisyExecutor {
             "snapshot does not match device"
         );
         let full = self.model.full_params(features, weights);
-        let native = self.retranspile(&full);
-        let compaction = self.compaction(&native);
+        let (native, compaction) = self.native_at(&full);
         let program =
             fuse_native_compacted(&native, &compaction, |op| self.op_lambda(op, snapshot));
         (native, compaction, program)
+    }
+
+    /// The compiled fused program for one evaluation plus the measured
+    /// qubits as compact register indices ([`VqcModel::measured_logical`]
+    /// order) — the raw material for driving the `quasim` engines
+    /// directly (benchmarks, cross-engine tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::z_scores_seeded`].
+    pub fn compile_program(
+        &self,
+        features: &[f64],
+        weights: &[f64],
+        snapshot: &CalibrationSnapshot,
+    ) -> (Vec<usize>, quasim::fused::FusedProgram) {
+        let (native, compaction, program) = self.compile(features, weights, snapshot);
+        (self.measured_compact(&native, &compaction), program)
+    }
+
+    /// The measured qubits as compact register indices, in
+    /// [`VqcModel::measured_logical`] order — the single mapping behind
+    /// [`Self::compile_program`] and the trajectory runner.
+    fn measured_compact(&self, native: &NativeCircuit, compaction: &QubitCompaction) -> Vec<usize> {
+        self.model
+            .measured_logical()
+            .iter()
+            .map(|&l| compaction.compact(native.measured_physical(l)))
+            .collect()
     }
 
     /// Runs the trajectory batch for a compiled program over the measured
@@ -452,6 +588,11 @@ impl NoisyExecutor {
     /// order) — the single implementation behind both the trajectory arm
     /// of the z-score paths and [`Self::trajectory_estimate`], so the two
     /// can never drift apart.
+    ///
+    /// Executes on the batched [`TrajectoryPanel`] engine at the width
+    /// resolved by [`panel_width_from_env`] (`QUCAD_TRAJ_BATCH` override,
+    /// auto otherwise); results are bit-identical to the per-trajectory
+    /// engine for every width.
     fn run_trajectories(
         &self,
         native: &NativeCircuit,
@@ -459,19 +600,16 @@ impl NoisyExecutor {
         program: &quasim::fused::FusedProgram,
         traj_seed: u64,
     ) -> TrajectoryEstimate {
-        let measured: Vec<usize> = self
-            .model
-            .measured_logical()
-            .iter()
-            .map(|&l| compaction.compact(native.measured_physical(l)))
-            .collect();
-        let mut ws = self.traj_workspace.borrow_mut();
-        estimate_prob_one(
-            &mut ws,
+        let measured = self.measured_compact(native, compaction);
+        let width = panel_width_from_env(program.n_qubits(), self.options.trajectories);
+        let mut panel = self.traj_panel.borrow_mut();
+        estimate_prob_one_panel(
+            &mut panel,
             program,
             &measured,
             self.options.trajectories,
             traj_seed,
+            width,
         )
     }
 
@@ -597,11 +735,11 @@ impl NoisyExecutor {
     }
 
     /// Physical circuit length (pulses + 3×CX) at the given weights after
-    /// simplify-then-route retranspilation; the quantity compression
-    /// shortens.
+    /// simplify-then-route retranspilation (cache-assisted); the quantity
+    /// compression shortens.
     pub fn circuit_length(&self, features: &[f64], weights: &[f64]) -> u32 {
         let full = self.model.full_params(features, weights);
-        self.retranspile(&full).length()
+        self.native_at(&full).0.length()
     }
 }
 
@@ -935,6 +1073,74 @@ mod tests {
         assert_eq!(a, b, "same stream must replay the same trajectories");
         let c = exec.z_scores_seeded(&features, &weights, &snap, 8);
         assert_ne!(a, c, "different streams must decorrelate");
+    }
+
+    #[test]
+    fn program_cache_rebinds_same_structure_and_stays_bit_identical() {
+        let (model, topo, exec) = setup();
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let weights = model.init_weights(5);
+        // Distinct generic-angle feature vectors share one structure:
+        // after the first compile every evaluation is a cache hit.
+        let feature_sets: Vec<[f64; 4]> = (0..6)
+            .map(|i| [0.2 + 0.1 * i as f64, 0.7, 1.1 + 0.05 * i as f64, 2.0])
+            .collect();
+        let mut cached = Vec::new();
+        for f in &feature_sets {
+            cached.push(exec.z_scores_seeded(f, &weights, &snap, 3));
+        }
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 1, "one structure, one miss");
+        assert_eq!(stats.hits, 5);
+        // A fresh executor compiles each evaluation from a cold cache; the
+        // scores must match the warm-cache run bit for bit.
+        for (f, want) in feature_sets.iter().zip(cached.iter()) {
+            let fresh = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+            let got = fresh.z_scores_seeded(f, &weights, &snap, 3);
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn program_cache_separates_compressed_structures() {
+        let (model, topo, exec) = setup();
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let features = [0.3, 0.8, 1.2, 2.1];
+        let generic = vec![0.9; model.n_weights()];
+        let mut compressed = generic.clone();
+        compressed[0] = 0.0; // drops an op → different structure
+        let _ = exec.z_scores_seeded(&features, &generic, &snap, 0);
+        let _ = exec.z_scores_seeded(&features, &compressed, &snap, 0);
+        let _ = exec.z_scores_seeded(&features, &generic, &snap, 1);
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 2, "two structures");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cache_rebinds_across_days_bit_identically() {
+        // Same structure, different snapshots: the λ rebind must match a
+        // cold compile under each day's calibration.
+        let (model, topo, exec) = setup();
+        let weights = model.init_weights(4);
+        let features = [0.4, 0.9, 1.3, 0.2];
+        let days: Vec<CalibrationSnapshot> = (0..4)
+            .map(|d| CalibrationSnapshot::uniform(&topo, d, 1e-4 * (d + 1) as f64, 1e-2, 0.01))
+            .collect();
+        let warm: Vec<Vec<f64>> = days
+            .iter()
+            .map(|s| exec.z_scores_seeded(&features, &weights, s, 9))
+            .collect();
+        for (s, want) in days.iter().zip(warm.iter()) {
+            let fresh = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
+            let got = fresh.z_scores_seeded(&features, &weights, s, 9);
+            for (a, b) in got.iter().zip(want.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(exec.cache_stats().misses, 1);
     }
 
     #[test]

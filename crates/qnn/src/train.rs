@@ -5,6 +5,15 @@
 //! executor configured with a calibration snapshot, so gradients see the
 //! device noise. The same loop with the pure environment is the paper's
 //! "Baseline" (train in a noise-free environment).
+//!
+//! Noisy training leans hard on the executor's compile-once/rebind-many
+//! program cache: finite-difference and SPSA steps evaluate thousands of
+//! parameter vectors that almost always share one angle-class structure
+//! (training moves weights continuously, so no gate crosses an
+//! identity/quarter-turn boundary between evaluations), meaning the
+//! circuit is simplified and routed once and every subsequent forward
+//! pass only re-binds gate matrices — see
+//! [`crate::executor::NoisyExecutor::cache_stats`].
 
 use crate::data::Sample;
 use crate::executor::{pure_z_scores, NoisyExecutor};

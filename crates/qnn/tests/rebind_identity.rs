@@ -1,0 +1,95 @@
+//! Property tests of the executor's program cache: evaluations served by
+//! re-binding a cached template (warm cache) must be **bit-identical** to
+//! from-scratch compiles (cold cache) and to the unfused op-by-op oracle,
+//! over random angle mixes × calibration days, on both simulation
+//! backends.
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use qnn::executor::{NoiseOptions, NoisyExecutor, SimBackend};
+use qnn::model::VqcModel;
+
+/// Feature-sized angle vectors mixing generic values with the compression
+/// levels (0, π/2, π, 3π/2) whose classes drive the structure key.
+fn arb_angles(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            Just(FRAC_PI_2),
+            Just(PI),
+            Just(3.0 * FRAC_PI_2),
+            Just(TAU),
+            -6.0f64..6.0,
+        ],
+        len,
+    )
+}
+
+fn arb_day() -> impl Strategy<Value = (u64, f64, f64, f64)> {
+    (0u64..1000, 0.0f64..4e-3, 0.0f64..5e-2, 0.0f64..0.05)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One long-lived executor evaluating a stream of (angles, day) pairs
+    /// — hitting the cache whenever a structure repeats — returns exactly
+    /// the bits a cold-cache executor and the unfused oracle return for
+    /// each pair.
+    #[test]
+    fn warm_cache_matches_cold_compile_and_unfused_oracle(
+        evals in proptest::collection::vec(
+            (arb_angles(4), arb_angles(40), arb_day()), 1..6),
+    ) {
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        assert!(model.n_weights() <= 40, "generated weight vector shorter than the model");
+        let topo = Topology::ibm_belem();
+        let warm = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(1024, 7));
+        for (features, weights, (day_seed, e1, e2, er)) in &evals {
+            let weights = &weights[..model.n_weights()];
+            let snap = CalibrationSnapshot::uniform(&topo, *day_seed as usize, *e1, *e2, *er);
+            let got = warm.z_scores_seeded(features, weights, &snap, *day_seed);
+            let cold = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(1024, 7));
+            let want = cold.z_scores_seeded(features, weights, &snap, *day_seed);
+            let oracle = cold.z_scores_seeded_unfused(features, weights, &snap, *day_seed);
+            for ((a, b), c) in got.iter().zip(want.iter()).zip(oracle.iter()) {
+                prop_assert!(a.to_bits() == b.to_bits(), "warm {} vs cold {}", a, b);
+                prop_assert!(a.to_bits() == c.to_bits(), "warm {} vs oracle {}", a, c);
+            }
+        }
+        // Sanity: the stream genuinely exercised the cache machinery.
+        let stats = warm.cache_stats();
+        prop_assert_eq!(stats.hits + stats.misses, evals.len() as u64);
+    }
+
+    /// Same contract on the trajectory backend: the cached-rebind program
+    /// must drive the stochastic engine to identical bits, across days.
+    #[test]
+    fn warm_cache_matches_cold_compile_on_trajectory_backend(
+        features in arb_angles(4),
+        weights in arb_angles(40),
+        days in proptest::collection::vec(arb_day(), 1..4),
+    ) {
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        assert!(model.n_weights() <= 40, "generated weight vector shorter than the model");
+        let topo = Topology::ibm_belem();
+        let options = NoiseOptions {
+            backend: SimBackend::Trajectory,
+            trajectories: 16,
+            ..NoiseOptions::with_shots(1024, 3)
+        };
+        let warm = NoisyExecutor::new(&model, &topo, options);
+        for (day_seed, e1, e2, er) in &days {
+            let weights = &weights[..model.n_weights()];
+            let snap = CalibrationSnapshot::uniform(&topo, *day_seed as usize, *e1, *e2, *er);
+            let got = warm.z_scores_seeded(&features, weights, &snap, *day_seed);
+            let cold = NoisyExecutor::new(&model, &topo, options);
+            let want = cold.z_scores_seeded(&features, weights, &snap, *day_seed);
+            for (a, b) in got.iter().zip(want.iter()) {
+                prop_assert!(a.to_bits() == b.to_bits(), "warm {} vs cold {}", a, b);
+            }
+        }
+    }
+}

@@ -193,10 +193,20 @@ impl FusedProgram {
     /// Whether the program contains no stochastic (noise-channel) atom, so
     /// any unraveling of it is exact in a single pass.
     pub fn is_deterministic(&self) -> bool {
-        !self
-            .atoms
+        self.n_stochastic_atoms() == 0
+    }
+
+    /// Number of stochastic (noise-channel) atoms.
+    ///
+    /// Each one consumes exactly one uniform draw per trajectory, so this
+    /// is also the per-trajectory RNG budget the batched panel engine
+    /// ([`crate::trajectory::TrajectoryPanel`]) pre-draws to replay the
+    /// per-trajectory stream bit-exactly.
+    pub fn n_stochastic_atoms(&self) -> usize {
+        self.atoms
             .iter()
-            .any(|a| matches!(a, FusedAtom::Depol1 { .. } | FusedAtom::Depol2 { .. }))
+            .filter(|a| matches!(a, FusedAtom::Depol1 { .. } | FusedAtom::Depol2 { .. }))
+            .count()
     }
 
     /// Executes the program in place on flat row-major storage of dimension

@@ -62,4 +62,4 @@ pub use gate::{BoundGate, GateKind};
 pub use math::{CMatrix, Complex64};
 pub use noise::{KrausChannel, ReadoutError};
 pub use statevector::StateVector;
-pub use trajectory::{TrajectoryEstimate, TrajectoryWorkspace};
+pub use trajectory::{TrajectoryEstimate, TrajectoryPanel, TrajectoryWorkspace};

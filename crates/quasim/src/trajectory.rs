@@ -34,12 +34,27 @@
 //! in program order, so a trajectory with no stochastic atom is exactly the
 //! noise-free state-vector run.
 //!
+//! # Batched panels
+//!
+//! [`TrajectoryPanel`] executes `B` trajectories at once on one contiguous
+//! `2^n × B` amplitude panel: every fused atom is applied a single time
+//! across all columns, amortising matrix classification, segment dispatch,
+//! and index arithmetic `B`-fold while turning the inner loops into
+//! straight-line sweeps over adjacent memory. Stochastic jumps stay
+//! per-column (each column pre-draws its own uniforms), so
+//! [`estimate_prob_one_panel`] is **bit-identical** to
+//! [`estimate_prob_one`] at every panel width — the width
+//! (`QUCAD_TRAJ_BATCH`, default [`auto_panel_width`]) is purely a
+//! performance knob.
+//!
 //! # Determinism
 //!
 //! All randomness comes from the caller-seeded RNG passed in; a fixed seed
 //! replays the identical jump record, which is what the cross-backend
 //! consistency harness and the thread-invariance guarantees of
-//! `qnn::executor::parallel` rely on.
+//! `qnn::executor::parallel` rely on. The panel engine consumes the same
+//! stream in the same trajectory-major order, so seeds mean the same
+//! thing on both engines.
 //!
 //! # Examples
 //!
@@ -61,7 +76,7 @@
 //! ```
 
 use crate::density::kernels::insert_zero_bit;
-use crate::fused::{FusedAtom, FusedProgram, MatClass, Support, Wire};
+use crate::fused::{FusedAtom, FusedProgram, MatClass, Segment, Support, Wire};
 use crate::math::{Complex64, M2, M4};
 use crate::noise::KrausChannel;
 use rand::rngs::StdRng;
@@ -168,6 +183,37 @@ fn pauli_on(amps: &mut [Complex64], q: usize, pauli: usize) {
     }
 }
 
+/// Maps one uniform draw to a one-qubit depolarising branch: `0` is the
+/// identity (probability `1 − 3λ/4`), `1..=3` the Paulis (λ/4 each).
+///
+/// Shared by the per-trajectory and panel engines so the two can never
+/// disagree on a branch for the same `(λ, u)` pair — the foundation of
+/// their bit-identity contract.
+#[inline]
+fn depol1_branch(lambda: f64, u: f64) -> usize {
+    let l = lambda.clamp(0.0, 1.0);
+    let w_id = 1.0 - 3.0 * l / 4.0;
+    if u < w_id {
+        return 0;
+    }
+    // Map the residual mass onto the three Paulis; the clamp guards the
+    // u ≈ 1 rounding edge.
+    (((u - w_id) / (l / 4.0)) as usize).min(2) + 1
+}
+
+/// Maps one uniform draw to a two-qubit depolarising branch: `0` is `I⊗I`
+/// (probability `1 − 15λ/16`), `1..=15` index the non-identity Pauli
+/// products as `(k >> 2, k & 3)`.
+#[inline]
+fn depol2_branch(lambda: f64, u: f64) -> usize {
+    let l = lambda.clamp(0.0, 1.0);
+    let w_id = 1.0 - 15.0 * l / 16.0;
+    if u < w_id {
+        return 0;
+    }
+    (((u - w_id) / (l / 16.0)) as usize).min(14) + 1
+}
+
 /// A reusable pure-state register for trajectory simulation.
 ///
 /// Owns the amplitude storage (plus a scratch buffer for generic Kraus
@@ -227,6 +273,28 @@ impl TrajectoryWorkspace {
         (0..self.amps.len() >> 1)
             .map(|k| self.amps[insert_zero_bit(k, mask) | mask].norm_sqr())
             .sum()
+    }
+
+    /// `P(1)` of **every** qubit in one pass over the amplitudes.
+    ///
+    /// [`TrajectoryWorkspace::prob_one`] walks the full vector once *per
+    /// qubit*; estimating all marginals that way costs `n` memory sweeps.
+    /// This accumulates every qubit's probability in a single sweep — for
+    /// each amplitude the squared norm is added to the accumulator of each
+    /// set bit — and is **bit-identical** per qubit to `prob_one`: both
+    /// visit the set-bit indices in increasing order, so the `f64` addition
+    /// sequence is the same.
+    pub fn probs_one_all(&self) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.n_qubits];
+        for (i, a) in self.amps.iter().enumerate() {
+            let n = a.norm_sqr();
+            let mut bits = i;
+            while bits != 0 {
+                acc[bits.trailing_zeros() as usize] += n;
+                bits &= bits - 1;
+            }
+        }
+        acc
     }
 
     /// Squared norm (1 up to rounding for mixed-unitary unravelings).
@@ -289,28 +357,16 @@ impl TrajectoryWorkspace {
     /// One-qubit depolarising jump: identity with probability `1 − 3λ/4`,
     /// otherwise a uniformly chosen Pauli.
     fn jump_depol1(&mut self, q: usize, lambda: f64, rng: &mut StdRng) {
-        let l = lambda.clamp(0.0, 1.0);
-        let u: f64 = rng.gen();
-        let w_id = 1.0 - 3.0 * l / 4.0;
-        if u < w_id {
-            return;
+        match depol1_branch(lambda, rng.gen()) {
+            0 => {}
+            k => pauli_on(&mut self.amps, q, k),
         }
-        // Map the residual mass onto the three Paulis; the clamp guards the
-        // u ≈ 1 rounding edge.
-        let k = (((u - w_id) / (l / 4.0)) as usize).min(2) + 1;
-        pauli_on(&mut self.amps, q, k);
     }
 
     /// Two-qubit depolarising jump: `I⊗I` with probability `1 − 15λ/16`,
     /// otherwise one of the 15 non-identity Pauli products.
     fn jump_depol2(&mut self, first: usize, second: usize, lambda: f64, rng: &mut StdRng) {
-        let l = lambda.clamp(0.0, 1.0);
-        let u: f64 = rng.gen();
-        let w_id = 1.0 - 15.0 * l / 16.0;
-        if u < w_id {
-            return;
-        }
-        let k = (((u - w_id) / (l / 16.0)) as usize).min(14) + 1;
+        let k = depol2_branch(lambda, rng.gen());
         let (pa, pb) = (k >> 2, k & 3);
         if pa != 0 {
             pauli_on(&mut self.amps, first, pa);
@@ -397,6 +453,902 @@ impl TrajectoryWorkspace {
     }
 }
 
+/// Hard cap on the panel width (columns per [`TrajectoryPanel`] chunk),
+/// bounding panel storage at `2^n × 4096` amplitudes.
+pub const MAX_PANEL_WIDTH: usize = 4096;
+
+/// Default panel width for an `n_qubits` register: as wide as possible
+/// (more columns amortise pass dispatch and index arithmetic and give the
+/// kernels longer contiguous inner loops) while the whole panel stays
+/// within an ~8 MiB streaming budget, capped at 16 columns — measured on
+/// the `fig10_guadalupe` scenario and the criterion panel benches, wider
+/// panels only add last-level-cache pressure without throughput.
+pub fn auto_panel_width(n_qubits: usize) -> usize {
+    const PANEL_BYTES_BUDGET: usize = 8 << 20;
+    let bytes_per_column = (2 * std::mem::size_of::<f64>()) << n_qubits;
+    (PANEL_BYTES_BUDGET / bytes_per_column).clamp(1, 16)
+}
+
+/// Resolves the panel width for a run: the `QUCAD_TRAJ_BATCH` environment
+/// variable when set (a positive integer, clamped to [`MAX_PANEL_WIDTH`]),
+/// otherwise [`auto_panel_width`]; never wider than the trajectory budget.
+///
+/// The width is a pure performance knob: results are bit-identical for
+/// every value (see [`estimate_prob_one_panel`]).
+///
+/// # Panics
+///
+/// Panics if `QUCAD_TRAJ_BATCH` is set to anything but a positive integer,
+/// so CI matrix typos fail loudly.
+pub fn panel_width_from_env(n_qubits: usize, n_trajectories: u32) -> usize {
+    let width = match std::env::var("QUCAD_TRAJ_BATCH") {
+        Ok(v) if !v.trim().is_empty() => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| panic!("QUCAD_TRAJ_BATCH must be a positive integer, got '{v}'"))
+            .min(MAX_PANEL_WIDTH),
+        _ => auto_panel_width(n_qubits),
+    };
+    width.min((n_trajectories.max(1)) as usize)
+}
+
+/// Complex amplitudes per tile row of the segment-fused panel sweeps:
+/// small enough that a one-qubit tile (2 amplitude rows × 2 planes) or a
+/// two-qubit tile (4 rows × 2 planes) stays L1-resident while a whole
+/// segment's atom chain runs over it.
+const TILE_ELEMS: usize = 512;
+
+/// One Pauli application to a planar amplitude pair `((re, im), (re, im))`,
+/// by value (`0` is the identity) — exactly the scalar expressions of
+/// [`pauli_on`], shared by the panel sweeps so jump arithmetic can never
+/// drift from the per-trajectory engine.
+#[inline(always)]
+fn pauli_vals(p: usize, x0: (f64, f64), x1: (f64, f64)) -> ((f64, f64), (f64, f64)) {
+    match p {
+        1 => (x1, x0),
+        // Y = [[0, −i], [i, 0]].
+        2 => ((x1.1, -x1.0), (-x0.1, x0.0)),
+        3 => (x0, (-x1.0, -x1.1)),
+        _ => (x0, x1),
+    }
+}
+
+/// One precompiled pass of a one-qubit segment chain over a pair tile.
+enum Pass1q<'a> {
+    /// Panel-wide 2×2 unitary.
+    Unitary(&'a M2, MatClass),
+    /// Per-column Pauli jumps (the pre-sampled branch row).
+    Jump(&'a [u8]),
+    /// Stochastic atom whose branch row is all-identity (exact no-op).
+    Skip,
+}
+
+/// Applies one 2×2 unitary to a planar pair tile (`r0/i0` = lower pair
+/// row, `r1/i1` = upper; all slices the same length, starts aligned to a
+/// column-`b` boundary).
+///
+/// Expression-for-expression [`m2_on`] with the complex products and sums
+/// expanded over the split real/imaginary planes in the exact `Complex64`
+/// operator order, so every column stays bit-identical to a standalone
+/// trajectory while the inner loops are branch-free contiguous `f64`
+/// sweeps that vectorise.
+#[inline(always)]
+fn unitary1_inner(
+    m: &M2,
+    class: MatClass,
+    r0: &mut [f64],
+    i0: &mut [f64],
+    r1: &mut [f64],
+    i1: &mut [f64],
+) {
+    let len = r0.len();
+    let (i0, r1, i1) = (&mut i0[..len], &mut r1[..len], &mut i1[..len]);
+    if class == MatClass::Diagonal {
+        let (d0, d1) = (m[0], m[3]);
+        for j in 0..len {
+            let (xr, xi) = (r0[j], i0[j]);
+            r0[j] = xr * d0.re - xi * d0.im;
+            i0[j] = xr * d0.im + xi * d0.re;
+            let (yr, yi) = (r1[j], i1[j]);
+            r1[j] = yr * d1.re - yi * d1.im;
+            i1[j] = yr * d1.im + yi * d1.re;
+        }
+    } else {
+        let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
+        for j in 0..len {
+            let (x0r, x0i) = (r0[j], i0[j]);
+            let (x1r, x1i) = (r1[j], i1[j]);
+            r0[j] = (m00.re * x0r - m00.im * x0i) + (m01.re * x1r - m01.im * x1i);
+            i0[j] = (m00.re * x0i + m00.im * x0r) + (m01.re * x1i + m01.im * x1r);
+            r1[j] = (m10.re * x0r - m10.im * x0i) + (m11.re * x1r - m11.im * x1i);
+            i1[j] = (m10.re * x0i + m10.im * x0r) + (m11.re * x1i + m11.im * x1r);
+        }
+    }
+}
+
+/// Applies one row of per-column Pauli jumps to a planar pair tile (same
+/// formulas as [`pauli_on`] via [`pauli_vals`]).
+#[inline(always)]
+fn jump1_inner(
+    row: &[u8],
+    b: usize,
+    r0: &mut [f64],
+    i0: &mut [f64],
+    r1: &mut [f64],
+    i1: &mut [f64],
+) {
+    let len = r0.len();
+    let (i0, r1, i1) = (&mut i0[..len], &mut r1[..len], &mut i1[..len]);
+    // Walk jumping columns only (element `j` belongs to column `j % b`, so
+    // a column's amplitudes sit at stride `b`); with calibration-scale λ
+    // most atoms jump in no or few columns per chunk.
+    for (c, &code) in row.iter().enumerate() {
+        let p = code as usize;
+        if p == 0 {
+            continue;
+        }
+        let mut j = c;
+        while j < len {
+            let (n0, n1) = pauli_vals(p, (r0[j], i0[j]), (r1[j], i1[j]));
+            r0[j] = n0.0;
+            i0[j] = n0.1;
+            r1[j] = n1.0;
+            i1[j] = n1.1;
+            j += b;
+        }
+    }
+}
+
+/// Applies a one-qubit atom chain to one planar pair tile.
+#[inline(always)]
+fn chain_1q_tile(
+    passes: &[Pass1q],
+    r0: &mut [f64],
+    i0: &mut [f64],
+    r1: &mut [f64],
+    i1: &mut [f64],
+    b: usize,
+) {
+    for pass in passes {
+        match *pass {
+            Pass1q::Unitary(m, class) => unitary1_inner(m, class, r0, i0, r1, i1),
+            Pass1q::Jump(row) => jump1_inner(row, b, r0, i0, r1, i1),
+            Pass1q::Skip => {}
+        }
+    }
+}
+
+/// Executes a one-qubit pass chain over the whole panel in a **single
+/// tiled pass**: each cache-sized pair tile is loaded once, the full
+/// chain runs over it, and it is stored back — one panel memory pass per
+/// chain (a whole supergroup of fused segments) instead of one per atom,
+/// with contiguous inner loops (pair rows for qubit `q` are `2^q · b`
+/// element runs, no per-pair bit-twiddling).
+fn run_pair_pass(re: &mut [f64], im: &mut [f64], b: usize, q: usize, passes: &[Pass1q]) {
+    let pair = (1usize << q) * b;
+    let total = re.len();
+    let tile = b * (TILE_ELEMS / b).max(1);
+    if pair >= tile {
+        // Wide pair runs: tile within each pair region, whole chain per
+        // tile.
+        let mut base = 0usize;
+        while base < total {
+            let mut ts = base;
+            while ts < base + pair {
+                let len = tile.min(base + pair - ts);
+                let (rl, rh) = re.split_at_mut(ts + pair);
+                let (il, ih) = im.split_at_mut(ts + pair);
+                chain_1q_tile(
+                    passes,
+                    &mut rl[ts..ts + len],
+                    &mut il[ts..ts + len],
+                    &mut rh[..len],
+                    &mut ih[..len],
+                    b,
+                );
+                ts += len;
+            }
+            base += 2 * pair;
+        }
+    } else {
+        // Narrow pair runs (low qubits): fuse at window granularity —
+        // each cache-sized window of whole 2·pair blocks hosts the chain,
+        // one pass dispatch per window.
+        let window = (2 * pair) * ((2 * TILE_ELEMS) / (2 * pair)).max(1);
+        let mut start = 0usize;
+        while start < total {
+            let wlen = window.min(total - start);
+            let rw = &mut re[start..start + wlen];
+            let iw = &mut im[start..start + wlen];
+            for pass in passes {
+                match *pass {
+                    Pass1q::Unitary(m, class) => {
+                        for (rb, ib) in rw
+                            .chunks_exact_mut(2 * pair)
+                            .zip(iw.chunks_exact_mut(2 * pair))
+                        {
+                            let (r0, r1) = rb.split_at_mut(pair);
+                            let (i0, i1) = ib.split_at_mut(pair);
+                            unitary1_inner(m, class, r0, i0, r1, i1);
+                        }
+                    }
+                    Pass1q::Jump(row) => {
+                        for (rb, ib) in rw
+                            .chunks_exact_mut(2 * pair)
+                            .zip(iw.chunks_exact_mut(2 * pair))
+                        {
+                            let (r0, r1) = rb.split_at_mut(pair);
+                            let (i0, i1) = ib.split_at_mut(pair);
+                            jump1_inner(row, b, r0, i0, r1, i1);
+                        }
+                    }
+                    Pass1q::Skip => {}
+                }
+            }
+            start += wlen;
+        }
+    }
+}
+
+/// One precompiled pass of a two-qubit segment chain over a quartet tile
+/// (quartet order `[00, 01, 10, 11]` in the segment's `(A, B)` wire basis
+/// with wire `A` the most significant bit).
+enum Pass2q<'a> {
+    /// CNOT with control on wire A: swap the `10` and `11` strips.
+    SwapA,
+    /// CNOT with control on wire B: swap the `01` and `11` strips.
+    SwapB,
+    /// 4×4 unitary; `swapped` atoms read/write the quartet through the
+    /// `[0, 2, 1, 3]` orientation permutation (as in `quasim::fused`).
+    Unitary(&'a M4, bool),
+    /// Per-column Pauli⊗Pauli jumps: branch row plus whether the atom's
+    /// `(first, second)` qubit order is `(B, A)`.
+    Jump(&'a [u8], bool),
+    /// 2×2 unitary on one wire of the quartet (`on_b` selects wire B) —
+    /// how supergroups execute single-qubit segments whose qubit is part
+    /// of the group's two-qubit support without an extra panel pass.
+    Unitary1(&'a M2, MatClass, bool),
+    /// Per-column one-qubit Pauli jumps on one wire of the quartet.
+    Jump1(&'a [u8], bool),
+    /// Stochastic atom with an all-identity branch row.
+    Skip,
+}
+
+/// Planar quartet tile: the four strips of both planes, in quartet order.
+struct Quartet<'a> {
+    r: [&'a mut [f64]; 4],
+    i: [&'a mut [f64]; 4],
+}
+
+/// Applies one 4×4 unitary to a quartet tile, reading the quartet in the
+/// atom's own orientation order — expression-for-expression [`m4_on`]
+/// (accumulator starts at zero, `acc += m[r·4+c] · old[c]` in column
+/// order).
+#[inline(always)]
+fn unitary2_inner(m: &M4, swapped: bool, g: &mut Quartet<'_>) {
+    let len = g.r[0].len();
+    let map: [usize; 4] = if swapped { [0, 2, 1, 3] } else { [0, 1, 2, 3] };
+    for j in 0..len {
+        let old = [
+            (g.r[map[0]][j], g.i[map[0]][j]),
+            (g.r[map[1]][j], g.i[map[1]][j]),
+            (g.r[map[2]][j], g.i[map[2]][j]),
+            (g.r[map[3]][j], g.i[map[3]][j]),
+        ];
+        for r in 0..4 {
+            let mut ar = 0.0f64;
+            let mut ai = 0.0f64;
+            for (c, &(or_, oi)) in old.iter().enumerate() {
+                let e = m[r * 4 + c];
+                ar += e.re * or_ - e.im * oi;
+                ai += e.re * oi + e.im * or_;
+            }
+            g.r[map[r]][j] = ar;
+            g.i[map[r]][j] = ai;
+        }
+    }
+}
+
+/// Applies one row of per-column Pauli⊗Pauli jumps to a quartet tile: the
+/// branch's first Pauli acts along the atom's first wire, then the second
+/// — each as two in-register pair applications with [`pauli_on`]'s exact
+/// formulas.
+#[inline(always)]
+fn jump2_inner(row: &[u8], b: usize, swapped: bool, g: &mut Quartet<'_>) {
+    // Wire-axis pair index sets: a Pauli on wire A couples (00,10) and
+    // (01,11); on wire B it couples (00,01) and (10,11).
+    const AXIS_A: [(usize, usize); 2] = [(0, 2), (1, 3)];
+    const AXIS_B: [(usize, usize); 2] = [(0, 1), (2, 3)];
+    let (first_axis, second_axis) = if swapped {
+        (AXIS_B, AXIS_A)
+    } else {
+        (AXIS_A, AXIS_B)
+    };
+    let len = g.r[0].len();
+    // Walk jumping columns only (see `jump1_inner`).
+    for (c, &code) in row.iter().enumerate() {
+        let k = code as usize;
+        if k == 0 {
+            continue;
+        }
+        let (pa, pb) = (k >> 2, k & 3);
+        let mut j = c;
+        while j < len {
+            if pa != 0 {
+                for (x, y) in first_axis {
+                    let (n0, n1) = pauli_vals(pa, (g.r[x][j], g.i[x][j]), (g.r[y][j], g.i[y][j]));
+                    g.r[x][j] = n0.0;
+                    g.i[x][j] = n0.1;
+                    g.r[y][j] = n1.0;
+                    g.i[y][j] = n1.1;
+                }
+            }
+            if pb != 0 {
+                for (x, y) in second_axis {
+                    let (n0, n1) = pauli_vals(pb, (g.r[x][j], g.i[x][j]), (g.r[y][j], g.i[y][j]));
+                    g.r[x][j] = n0.0;
+                    g.i[x][j] = n0.1;
+                    g.r[y][j] = n1.0;
+                    g.i[y][j] = n1.1;
+                }
+            }
+            j += b;
+        }
+    }
+}
+
+/// Applies a two-qubit atom chain to one quartet tile. CNOTs are strip
+/// swaps (`swap_with_slice`, a vectorised block exchange).
+#[inline(always)]
+fn chain_2q_tile(passes: &[Pass2q], g: &mut Quartet<'_>, b: usize) {
+    for pass in passes {
+        match *pass {
+            Pass2q::SwapA => {
+                let [_, _, r2, r3] = &mut g.r;
+                r2.swap_with_slice(r3);
+                let [_, _, i2, i3] = &mut g.i;
+                i2.swap_with_slice(i3);
+            }
+            Pass2q::SwapB => {
+                let [_, r1, _, r3] = &mut g.r;
+                r1.swap_with_slice(r3);
+                let [_, i1, _, i3] = &mut g.i;
+                i1.swap_with_slice(i3);
+            }
+            Pass2q::Unitary(m, swapped) => unitary2_inner(m, swapped, g),
+            Pass2q::Jump(row, swapped) => jump2_inner(row, b, swapped, g),
+            Pass2q::Unitary1(m, class, on_b) => {
+                // A 1q op on one wire couples the two wire-axis pairs;
+                // apply the exact pair kernel to each in turn.
+                for (x, y) in wire_axis(on_b) {
+                    let (r0, i0, r1, i1) = quartet_pair(g, x, y);
+                    unitary1_inner(m, class, r0, i0, r1, i1);
+                }
+            }
+            Pass2q::Jump1(row, on_b) => {
+                for (x, y) in wire_axis(on_b) {
+                    let (r0, i0, r1, i1) = quartet_pair(g, x, y);
+                    jump1_inner(row, b, r0, i0, r1, i1);
+                }
+            }
+            Pass2q::Skip => {}
+        }
+    }
+}
+
+/// Wire-axis pair index sets in quartet order: a one-qubit op on wire A
+/// couples (00,10) and (01,11); on wire B it couples (00,01) and (10,11).
+#[inline(always)]
+fn wire_axis(on_b: bool) -> [(usize, usize); 2] {
+    if on_b {
+        [(0, 1), (2, 3)]
+    } else {
+        [(0, 2), (1, 3)]
+    }
+}
+
+/// Borrows one wire-axis pair (`x < y`) of a quartet as the four planar
+/// slices the pair kernels take.
+#[inline(always)]
+fn quartet_pair<'q>(
+    g: &'q mut Quartet<'_>,
+    x: usize,
+    y: usize,
+) -> (&'q mut [f64], &'q mut [f64], &'q mut [f64], &'q mut [f64]) {
+    let (rl, rh) = g.r.split_at_mut(y);
+    let (il, ih) = g.i.split_at_mut(y);
+    (&mut *rl[x], &mut *il[x], &mut *rh[0], &mut *ih[0])
+}
+
+/// Splits four disjoint equal-length strips out of one plane, given
+/// strictly increasing element starts.
+fn strips4(plane: &mut [f64], starts: [usize; 4], len: usize) -> [&mut [f64]; 4] {
+    let (p01, p23) = plane.split_at_mut(starts[2]);
+    let (p0, p1) = p01.split_at_mut(starts[1]);
+    let (p2, p3) = p23.split_at_mut(starts[3] - starts[2]);
+    [
+        &mut p0[starts[0]..starts[0] + len],
+        &mut p1[..len],
+        &mut p2[..len],
+        &mut p3[..len],
+    ]
+}
+
+/// Reorders four sorted-offset strips (per plane) into quartet order.
+#[inline(always)]
+fn to_quartet<'a>(
+    sorted_re: [&'a mut [f64]; 4],
+    sorted_im: [&'a mut [f64]; 4],
+    v_is_small: bool,
+) -> Quartet<'a> {
+    let [r0, ra, rb, r3] = sorted_re;
+    let [i0, ia, ib, i3] = sorted_im;
+    if v_is_small {
+        // Strip at the small offset is the v-set (quartet index 1) strip.
+        Quartet {
+            r: [r0, ra, rb, r3],
+            i: [i0, ia, ib, i3],
+        }
+    } else {
+        Quartet {
+            r: [r0, rb, ra, r3],
+            i: [i0, ib, ia, i3],
+        }
+    }
+}
+
+/// Executes a two-qubit pass chain over the whole panel in a single tiled
+/// pass — the two-qubit counterpart of [`run_pair_pass`]: each quartet
+/// tile (four strips in the supergroup's `(A, B)` wire basis) hosts the
+/// whole chain in cache.
+fn run_quartet_pass(
+    re: &mut [f64],
+    im: &mut [f64],
+    b: usize,
+    u: usize,
+    v: usize,
+    passes: &[Pass2q],
+) {
+    let mu = (1usize << u) * b;
+    let mv = (1usize << v) * b;
+    let (ms, mb) = if mu < mv { (mu, mv) } else { (mv, mu) };
+    let v_is_small = mv < mu;
+    let total = re.len();
+    let tile = b * (TILE_ELEMS / b).max(1);
+    if ms >= tile {
+        let mut bh = 0usize;
+        while bh < total {
+            let mut bl = bh;
+            while bl < bh + mb {
+                let mut ts = bl;
+                while ts < bl + ms {
+                    let len = tile.min(bl + ms - ts);
+                    let starts = [ts, ts + ms, ts + mb, ts + mb + ms];
+                    let sr = strips4(re, starts, len);
+                    let si = strips4(im, starts, len);
+                    let mut g = to_quartet(sr, si, v_is_small);
+                    chain_2q_tile(passes, &mut g, b);
+                    ts += len;
+                }
+                bl += 2 * ms;
+            }
+            bh += 2 * mb;
+        }
+    } else {
+        // Narrow small-axis runs: walk each big block's low/high halves in
+        // lockstep; every 2·ms sub-block pair forms one quartet tile.
+        let mut bh = 0usize;
+        while bh < total {
+            let (rl_all, rh_all) = re.split_at_mut(bh + mb);
+            let (il_all, ih_all) = im.split_at_mut(bh + mb);
+            let rl = &mut rl_all[bh..];
+            let il = &mut il_all[bh..];
+            let rh = &mut rh_all[..mb];
+            let ih = &mut ih_all[..mb];
+            for (((rlb, rhb), ilb), ihb) in rl
+                .chunks_exact_mut(2 * ms)
+                .zip(rh.chunks_exact_mut(2 * ms))
+                .zip(il.chunks_exact_mut(2 * ms))
+                .zip(ih.chunks_exact_mut(2 * ms))
+            {
+                let (sr0, sr1) = rlb.split_at_mut(ms);
+                let (sr2, sr3) = rhb.split_at_mut(ms);
+                let (si0, si1) = ilb.split_at_mut(ms);
+                let (si2, si3) = ihb.split_at_mut(ms);
+                let mut g = to_quartet([sr0, sr1, sr2, sr3], [si0, si1, si2, si3], v_is_small);
+                chain_2q_tile(passes, &mut g, b);
+            }
+            bh += 2 * mb;
+        }
+    }
+}
+
+/// A batched trajectory register: `B` trajectories stored as one
+/// contiguous `2^n × B` amplitude panel in structure-of-arrays form — a
+/// real plane and an imaginary plane, each with a register index's `B`
+/// column values adjacent.
+///
+/// The per-trajectory engine ([`TrajectoryWorkspace`]) pays the full
+/// per-op cost — matrix classification, segment dispatch, bit-twiddled
+/// index enumeration, and one full state sweep per atom — once *per
+/// trajectory*. The panel executes each fused **segment** in a single
+/// tiled pass across all `B` columns: atoms are precompiled into a pass
+/// chain, each cache-resident tile hosts the whole chain before moving
+/// on, and the split real/imaginary planes make the inner loops
+/// branch-free contiguous `f64` sweeps that auto-vectorise. Stochastic
+/// jumps stay per-trajectory — each column consumes its own pre-drawn
+/// uniforms and receives its own Pauli jumps — so every column is
+/// **bit-identical** to the trajectory the workspace engine would produce
+/// from the same draw sequence.
+///
+/// Use [`estimate_prob_one_panel`] for the batched counterpart of
+/// [`estimate_prob_one`]; the panel width is a pure performance knob
+/// (override with `QUCAD_TRAJ_BATCH`, see [`panel_width_from_env`]).
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryPanel {
+    n_qubits: usize,
+    batch: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+    norms: Vec<f64>,
+    uniforms: Vec<f64>,
+    branch_rows: Vec<u8>,
+    branch_any: Vec<bool>,
+}
+
+impl TrajectoryPanel {
+    /// Creates an empty panel (no storage until the first reset).
+    pub fn new() -> Self {
+        TrajectoryPanel::default()
+    }
+
+    /// Re-initialises every column to `|0…0⟩` over `n_qubits`, reusing the
+    /// buffers when large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is 0 or greater than [`MAX_TRAJECTORY_QUBITS`],
+    /// or `batch` is 0 or greater than [`MAX_PANEL_WIDTH`].
+    pub fn reset_zero(&mut self, n_qubits: usize, batch: usize) {
+        assert!(
+            (1..=MAX_TRAJECTORY_QUBITS).contains(&n_qubits),
+            "unsupported qubit count"
+        );
+        assert!(
+            (1..=MAX_PANEL_WIDTH).contains(&batch),
+            "unsupported panel width"
+        );
+        self.n_qubits = n_qubits;
+        self.batch = batch;
+        let total = (1usize << n_qubits) * batch;
+        self.re.clear();
+        self.re.resize(total, 0.0);
+        self.im.clear();
+        self.im.resize(total, 0.0);
+        self.re[..batch].fill(1.0);
+    }
+
+    /// Number of qubits of the current panel (0 before the first reset).
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of trajectory columns (0 before the first reset).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The amplitudes of one trajectory column (length `2^n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: usize) -> Vec<Complex64> {
+        assert!(col < self.batch, "column {col} out of range");
+        (0..1usize << self.n_qubits)
+            .map(|i| Complex64::new(self.re[i * self.batch + col], self.im[i * self.batch + col]))
+            .collect()
+    }
+
+    /// Executes one fused program across all columns, one tiled panel pass
+    /// per **supergroup** — a maximal run of consecutive fused segments
+    /// whose union support fits within two qubits (a gate+channel segment
+    /// plus the single-qubit segments of its decomposition neighbours,
+    /// e.g. the full `CX·dep₂·RY·dep₁·CX·dep₂·RY·dep₁` body of a noisy
+    /// controlled rotation). Unitary atoms are applied panel-wide,
+    /// stochastic atoms consume one pre-drawn uniform per column
+    /// (`uniforms[c * n_stoch + s]` for column `c`, stochastic atom `s`)
+    /// and apply their jump column-wise inside the same pass.
+    ///
+    /// Atoms are never reordered — every amplitude sees the identical
+    /// per-column expression sequence of atom-by-atom execution, grouping
+    /// only changes which memory pass hosts the arithmetic — and passing
+    /// the uniforms in trajectory-major order makes each column replay
+    /// exactly the draw sequence the per-trajectory engine hands one
+    /// trajectory. Together that is how [`estimate_prob_one_panel`] stays
+    /// bit-identical to [`estimate_prob_one`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's qubit count differs from the panel's or
+    /// `uniforms.len() != batch * program.n_stochastic_atoms()`.
+    pub fn run_stochastic(&mut self, program: &FusedProgram, uniforms: &[f64]) {
+        assert_eq!(
+            program.n_qubits(),
+            self.n_qubits,
+            "program/panel qubit count mismatch"
+        );
+        let n_stoch = program.n_stochastic_atoms();
+        assert_eq!(
+            uniforms.len(),
+            self.batch * n_stoch,
+            "need one uniform per stochastic atom per column"
+        );
+        let b = self.batch;
+        let mut s = 0usize;
+        let mut rows = std::mem::take(&mut self.branch_rows);
+        let mut any = std::mem::take(&mut self.branch_any);
+        let segs = program.segments();
+        let support_qubits = |seg: &Segment| -> (usize, Option<usize>) {
+            match seg.support() {
+                Support::One(q) => (q, None),
+                Support::Two(a, bq) => (a, Some(bq)),
+            }
+        };
+        let mut start = 0usize;
+        while start < segs.len() {
+            // Greedily extend the supergroup while the union support stays
+            // within two qubits (first-seen order fixes the group's (u, v)
+            // wire basis).
+            let (u, mut v) = support_qubits(&segs[start]);
+            let mut end = start + 1;
+            while end < segs.len() {
+                let (a, bq) = support_qubits(&segs[end]);
+                let mut nv = v;
+                let mut fits = true;
+                for q in [Some(a), bq].into_iter().flatten() {
+                    if q == u || nv == Some(q) {
+                        continue;
+                    }
+                    if nv.is_none() {
+                        nv = Some(q);
+                    } else {
+                        fits = false;
+                        break;
+                    }
+                }
+                if !fits {
+                    break;
+                }
+                v = nv;
+                end += 1;
+            }
+            // Pre-sample the group's jump branches: branch `k` of
+            // stochastic atom `j` for column `c` is a pure function of the
+            // column's pre-drawn uniform, so sampling them up front (one
+            // row per stochastic atom) consumes exactly the per-trajectory
+            // engine's draw sequence.
+            rows.clear();
+            any.clear();
+            for seg in &segs[start..end] {
+                for atom in program.atoms_in(seg) {
+                    let lambda = match *atom {
+                        FusedAtom::Depol1 { lambda } => lambda,
+                        FusedAtom::Depol2 { lambda, .. } => lambda,
+                        _ => continue,
+                    };
+                    let two_qubit = matches!(atom, FusedAtom::Depol2 { .. });
+                    let mut any_jump = false;
+                    for c in 0..b {
+                        let uni = uniforms[c * n_stoch + s];
+                        let k = if two_qubit {
+                            depol2_branch(lambda, uni)
+                        } else {
+                            depol1_branch(lambda, uni)
+                        } as u8;
+                        any_jump |= k != 0;
+                        rows.push(k);
+                    }
+                    any.push(any_jump);
+                    s += 1;
+                }
+            }
+            match v {
+                None => {
+                    // Single-qubit group: cheaper pair tiles.
+                    let mut passes: Vec<Pass1q> = Vec::new();
+                    let mut jump = 0usize;
+                    for seg in &segs[start..end] {
+                        for atom in program.atoms_in(seg) {
+                            match *atom {
+                                FusedAtom::Unitary1 { m2, class } => {
+                                    passes.push(Pass1q::Unitary(program.m2(m2), class));
+                                }
+                                FusedAtom::Depol1 { .. } => {
+                                    passes.push(if any[jump] {
+                                        Pass1q::Jump(&rows[jump * b..(jump + 1) * b])
+                                    } else {
+                                        Pass1q::Skip
+                                    });
+                                    jump += 1;
+                                }
+                                _ => unreachable!("two-qubit atom in one-qubit group"),
+                            }
+                        }
+                    }
+                    run_pair_pass(&mut self.re, &mut self.im, b, u, &passes);
+                }
+                Some(v) => {
+                    let mut passes: Vec<Pass2q> = Vec::new();
+                    let mut jump = 0usize;
+                    for seg in &segs[start..end] {
+                        // Orientation of this segment inside the group's
+                        // (u, v) wire basis.
+                        let flip = match seg.support() {
+                            Support::One(_) => false,
+                            Support::Two(a, _) => a != u,
+                        };
+                        let on_b = match seg.support() {
+                            Support::One(q) => q == v,
+                            Support::Two(..) => false,
+                        };
+                        for atom in program.atoms_in(seg) {
+                            match *atom {
+                                FusedAtom::Unitary1 { m2, class } => {
+                                    passes.push(Pass2q::Unitary1(program.m2(m2), class, on_b));
+                                }
+                                FusedAtom::Depol1 { .. } => {
+                                    passes.push(if any[jump] {
+                                        Pass2q::Jump1(&rows[jump * b..(jump + 1) * b], on_b)
+                                    } else {
+                                        Pass2q::Skip
+                                    });
+                                    jump += 1;
+                                }
+                                FusedAtom::Cx { control } => {
+                                    passes.push(if (control == Wire::A) != flip {
+                                        Pass2q::SwapA
+                                    } else {
+                                        Pass2q::SwapB
+                                    });
+                                }
+                                FusedAtom::Unitary2 { m4, swapped } => {
+                                    passes.push(Pass2q::Unitary(program.m4(m4), swapped != flip));
+                                }
+                                FusedAtom::Depol2 { swapped, .. } => {
+                                    passes.push(if any[jump] {
+                                        Pass2q::Jump(
+                                            &rows[jump * b..(jump + 1) * b],
+                                            swapped != flip,
+                                        )
+                                    } else {
+                                        Pass2q::Skip
+                                    });
+                                    jump += 1;
+                                }
+                            }
+                        }
+                    }
+                    run_quartet_pass(&mut self.re, &mut self.im, b, u, v, &passes);
+                }
+            }
+            start = end;
+        }
+        self.branch_rows = rows;
+        self.branch_any = any;
+    }
+
+    /// `P(1)` of every qubit of every column in one pass over the panel:
+    /// `out[q * batch + c]` is column `c`'s marginal on qubit `q`.
+    ///
+    /// Per `(qubit, column)` pair the `f64` additions happen in increasing
+    /// register-index order — the same sequence as
+    /// [`TrajectoryWorkspace::probs_one_all`] (and `prob_one`) — so the
+    /// sums are bit-identical to the per-trajectory engine's.
+    pub fn probs_one_all(&mut self) -> Vec<f64> {
+        let TrajectoryPanel {
+            n_qubits,
+            batch,
+            ref re,
+            ref im,
+            ref mut norms,
+            ..
+        } = *self;
+        let mut out = vec![0.0f64; n_qubits * batch];
+        norms.clear();
+        norms.resize(batch, 0.0);
+        for (i, (rrow, irow)) in re
+            .chunks_exact(batch)
+            .zip(im.chunks_exact(batch))
+            .enumerate()
+        {
+            if i == 0 {
+                continue;
+            }
+            for ((n, &r), &m) in norms.iter_mut().zip(rrow.iter()).zip(irow.iter()) {
+                *n = r * r + m * m;
+            }
+            let mut bits = i;
+            while bits != 0 {
+                let q = bits.trailing_zeros() as usize;
+                let dst = &mut out[q * batch..(q + 1) * batch];
+                for (d, &n) in dst.iter_mut().zip(norms.iter()) {
+                    *d += n;
+                }
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Batched counterpart of [`estimate_prob_one`]: averages `n_trajectories`
+/// seeded trajectories executed as [`TrajectoryPanel`] chunks of at most
+/// `panel_width` columns.
+///
+/// **Bit-identical** to [`estimate_prob_one`] for every `(seed,
+/// n_trajectories)` and every `panel_width`: the jump uniforms are
+/// pre-drawn from the same single `StdRng` in trajectory-major order (so
+/// trajectory `t` consumes exactly the draws it would consume in the
+/// sequential engine no matter how trajectories are chunked into panels),
+/// each column's amplitude arithmetic matches the workspace kernels
+/// expression for expression, and the `P(1)` accumulation visits
+/// trajectories in the same order.
+///
+/// # Panics
+///
+/// Panics if `n_trajectories == 0`, `panel_width == 0`, or a qubit is out
+/// of range.
+pub fn estimate_prob_one_panel(
+    panel: &mut TrajectoryPanel,
+    program: &FusedProgram,
+    qubits: &[usize],
+    n_trajectories: u32,
+    seed: u64,
+    panel_width: usize,
+) -> TrajectoryEstimate {
+    assert!(n_trajectories > 0, "need at least one trajectory");
+    assert!(panel_width > 0, "panel width must be positive");
+    for &q in qubits {
+        assert!(q < program.n_qubits(), "qubit {q} out of range");
+    }
+    let n = if program.is_deterministic() {
+        1
+    } else {
+        n_trajectories
+    };
+    let n_stoch = program.n_stochastic_atoms();
+    let width = panel_width.min(MAX_PANEL_WIDTH);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = vec![0.0f64; qubits.len()];
+    let mut sum_sq = vec![0.0f64; qubits.len()];
+    let mut remaining = n as usize;
+    while remaining > 0 {
+        let b = width.min(remaining);
+        // Pre-draw this chunk's jump uniforms in trajectory-major order;
+        // the buffer lives on the panel so steady-state chunks allocate
+        // nothing.
+        let mut uniforms = std::mem::take(&mut panel.uniforms);
+        uniforms.clear();
+        uniforms.extend((0..b * n_stoch).map(|_| rng.gen::<f64>()));
+        panel.reset_zero(program.n_qubits(), b);
+        panel.run_stochastic(program, &uniforms);
+        panel.uniforms = uniforms;
+        let probs = panel.probs_one_all();
+        for c in 0..b {
+            for (i, &q) in qubits.iter().enumerate() {
+                let p = probs[q * b + c];
+                sum[i] += p;
+                sum_sq[i] += p * p;
+            }
+        }
+        remaining -= b;
+    }
+    finish_estimate(qubits, sum, sum_sq, n)
+}
+
 /// Per-qubit `P(1)` estimate from a batch of trajectories, with the
 /// standard error the cross-backend consistency harness derives its
 /// confidence bound from.
@@ -459,6 +1411,9 @@ pub fn estimate_prob_one(
     seed: u64,
 ) -> TrajectoryEstimate {
     assert!(n_trajectories > 0, "need at least one trajectory");
+    for &q in qubits {
+        assert!(q < program.n_qubits(), "qubit {q} out of range");
+    }
     let n = if program.is_deterministic() {
         1
     } else {
@@ -470,12 +1425,26 @@ pub fn estimate_prob_one(
     for _ in 0..n {
         ws.reset_zero(program.n_qubits());
         ws.run_stochastic(program, &mut rng);
+        // One sweep for all marginals (bit-identical to per-qubit
+        // `prob_one`, see `probs_one_all`).
+        let probs = ws.probs_one_all();
         for (i, &q) in qubits.iter().enumerate() {
-            let p = ws.prob_one(q);
+            let p = probs[q];
             sum[i] += p;
             sum_sq[i] += p * p;
         }
     }
+    finish_estimate(qubits, sum, sum_sq, n)
+}
+
+/// Folds trajectory-ordered `P(1)` sums into the final estimate (shared by
+/// the per-trajectory and panel paths so the statistics can never drift).
+fn finish_estimate(
+    qubits: &[usize],
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+    n: u32,
+) -> TrajectoryEstimate {
     let nf = n as f64;
     let p_one: Vec<f64> = sum.iter().map(|s| s / nf).collect();
     let std_err: Vec<f64> = sum_sq
@@ -651,6 +1620,114 @@ mod tests {
             (mean - exact).abs() < 0.01,
             "trajectory mean {mean} vs exact {exact}"
         );
+    }
+
+    fn noisy_test_program() -> FusedProgram {
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::Ry.entries_1q(0.7).unwrap());
+        b.depolarize_1q(0, 0.3);
+        b.cx(0, 1);
+        b.depolarize_2q(0.2, 0, 1);
+        b.unitary_1q(2, GateKind::Rz.entries_1q(-0.4).unwrap());
+        b.unitary_2q(1, 2, GateKind::Cry.entries_2q(0.8).unwrap());
+        b.depolarize_2q(0.15, 2, 1);
+        b.finish()
+    }
+
+    #[test]
+    fn probs_one_all_matches_per_qubit_prob_one_bits() {
+        let program = noisy_test_program();
+        let mut ws = TrajectoryWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            ws.reset_zero(3);
+            ws.run_stochastic(&program, &mut rng);
+            let all = ws.probs_one_all();
+            for (q, p) in all.iter().enumerate() {
+                assert_eq!(p.to_bits(), ws.prob_one(q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn panel_estimate_is_bit_identical_to_per_trajectory_engine() {
+        let program = noisy_test_program();
+        let mut ws = TrajectoryWorkspace::new();
+        let reference = estimate_prob_one(&mut ws, &program, &[0, 1, 2], 96, 33);
+        let mut panel = TrajectoryPanel::new();
+        for width in [1usize, 2, 7, 32, 96, 128] {
+            let got = estimate_prob_one_panel(&mut panel, &program, &[0, 1, 2], 96, 33, width);
+            assert_eq!(got.n_trajectories, reference.n_trajectories);
+            for i in 0..3 {
+                assert_eq!(
+                    got.p_one[i].to_bits(),
+                    reference.p_one[i].to_bits(),
+                    "width {width} qubit {i} p_one"
+                );
+                assert_eq!(
+                    got.std_err[i].to_bits(),
+                    reference.std_err[i].to_bits(),
+                    "width {width} qubit {i} std_err"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_columns_replay_individual_trajectories_bitwise() {
+        let program = noisy_test_program();
+        let n_stoch = program.n_stochastic_atoms();
+        assert_eq!(n_stoch, 3);
+        let batch = 5usize;
+        let mut rng = StdRng::seed_from_u64(77);
+        let uniforms: Vec<f64> = (0..batch * n_stoch).map(|_| rng.gen()).collect();
+
+        let mut panel = TrajectoryPanel::new();
+        panel.reset_zero(3, batch);
+        panel.run_stochastic(&program, &uniforms);
+
+        // Per-trajectory engine replaying the same draw sequence: one fresh
+        // run per column, consuming that column's uniforms in order.
+        let mut replay_rng = StdRng::seed_from_u64(77);
+        let mut ws = TrajectoryWorkspace::new();
+        for c in 0..batch {
+            ws.reset_zero(3);
+            ws.run_stochastic(&program, &mut replay_rng);
+            let col = panel.column(c);
+            for (i, (a, b)) in col.iter().zip(ws.amplitudes().iter()).enumerate() {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "column {c} amplitude {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_program_short_circuits_on_panel_too() {
+        let mut b = ProgramBuilder::new(2);
+        b.unitary_1q(0, GateKind::H.entries_1q(0.0).unwrap());
+        b.cx(0, 1);
+        let program = b.finish();
+        let mut panel = TrajectoryPanel::new();
+        let est = estimate_prob_one_panel(&mut panel, &program, &[0, 1], 500, 1, 64);
+        assert_eq!(est.n_trajectories, 1);
+        assert!(est.std_err.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn auto_panel_width_shrinks_with_register_size() {
+        assert_eq!(auto_panel_width(4), 16);
+        assert_eq!(auto_panel_width(16), 8);
+        assert_eq!(auto_panel_width(20), 1);
+        assert!(auto_panel_width(MAX_TRAJECTORY_QUBITS) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported panel width")]
+    fn panel_rejects_zero_width() {
+        let mut panel = TrajectoryPanel::new();
+        panel.reset_zero(2, 0);
     }
 
     #[test]

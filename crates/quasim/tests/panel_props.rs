@@ -1,0 +1,206 @@
+//! Property tests of the batched trajectory panel: for arbitrary fused
+//! programs, seeds, budgets, and panel widths, [`TrajectoryPanel`]
+//! execution must be **bit-identical** to the per-trajectory engine —
+//! estimate means and standard errors, and every individual column's
+//! amplitudes.
+
+use proptest::prelude::*;
+use quasim::fused::{FusedProgram, ProgramBuilder};
+use quasim::gate::GateKind;
+use quasim::trajectory::{
+    estimate_prob_one, estimate_prob_one_panel, TrajectoryPanel, TrajectoryWorkspace,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_QUBITS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum AtomSpec {
+    Gate1(u8, usize, f64),
+    Gate2(u8, usize, usize, f64),
+    Cx(usize, usize),
+    Noise1(usize, f64),
+    Noise2(usize, usize, f64),
+}
+
+fn arb_atom(n: usize) -> impl Strategy<Value = AtomSpec> {
+    (
+        0usize..5,
+        0u8..6,
+        0usize..n,
+        0usize..n,
+        -7.0f64..7.0,
+        0.0f64..0.6,
+    )
+        .prop_filter_map(
+            "distinct qubits for two-qubit atoms",
+            move |(class, kind, a, b, theta, lambda)| match class {
+                0 => Some(AtomSpec::Gate1(kind, a, theta)),
+                1 if a != b => Some(AtomSpec::Gate2(kind, a, b, theta)),
+                2 if a != b => Some(AtomSpec::Cx(a, b)),
+                3 => Some(AtomSpec::Noise1(a, lambda)),
+                4 if a != b => Some(AtomSpec::Noise2(a, b, lambda)),
+                _ => None,
+            },
+        )
+}
+
+fn build_program(specs: &[AtomSpec]) -> FusedProgram {
+    let g1 = [
+        GateKind::H,
+        GateKind::X,
+        GateKind::Ry,
+        GateKind::Rx,
+        GateKind::Rz,
+        GateKind::Phase,
+    ];
+    let g2 = [
+        GateKind::Cry,
+        GateKind::Crx,
+        GateKind::Crz,
+        GateKind::Cz,
+        GateKind::Swap,
+        GateKind::Cry,
+    ];
+    let mut b = ProgramBuilder::new(N_QUBITS);
+    for spec in specs {
+        match *spec {
+            AtomSpec::Gate1(k, q, theta) => {
+                let kind = g1[k as usize % g1.len()];
+                b.unitary_1q(q, kind.entries_1q(theta).expect("1q entries"));
+            }
+            AtomSpec::Gate2(k, x, y, theta) => {
+                let kind = g2[k as usize % g2.len()];
+                b.unitary_2q(x, y, kind.entries_2q(theta).expect("2q entries"));
+            }
+            AtomSpec::Cx(c, t) => b.cx(c, t),
+            AtomSpec::Noise1(q, lambda) => b.depolarize_1q(q, lambda),
+            AtomSpec::Noise2(x, y, lambda) => b.depolarize_2q(lambda, x, y),
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The panel estimate equals the per-trajectory estimate bit for bit
+    /// at every width, including widths that split the budget into uneven
+    /// chunks and widths larger than the budget.
+    #[test]
+    fn panel_estimate_bit_identical_at_every_width(
+        specs in proptest::collection::vec(arb_atom(N_QUBITS), 1..30),
+        seed in any::<u64>(),
+        n_traj in 1u32..40,
+        width in 1usize..48,
+    ) {
+        let program = build_program(&specs);
+        let qubits: Vec<usize> = (0..N_QUBITS).collect();
+        let mut ws = TrajectoryWorkspace::new();
+        let reference = estimate_prob_one(&mut ws, &program, &qubits, n_traj, seed);
+        let mut panel = TrajectoryPanel::new();
+        let got = estimate_prob_one_panel(&mut panel, &program, &qubits, n_traj, seed, width);
+        prop_assert_eq!(got.n_trajectories, reference.n_trajectories);
+        for q in 0..N_QUBITS {
+            prop_assert!(
+                got.p_one[q].to_bits() == reference.p_one[q].to_bits(),
+                "width {} qubit {} p_one: {} vs {}",
+                width, q, got.p_one[q], reference.p_one[q]
+            );
+            prop_assert!(
+                got.std_err[q].to_bits() == reference.std_err[q].to_bits(),
+                "width {} qubit {} std_err: {} vs {}",
+                width, q, got.std_err[q], reference.std_err[q]
+            );
+        }
+    }
+
+    /// Every panel column's final amplitudes equal the per-trajectory
+    /// engine replaying the same draw sequence — the panel really is B
+    /// independent trajectories, not an approximation of them.
+    #[test]
+    fn panel_columns_bit_identical_to_sequential_runs(
+        specs in proptest::collection::vec(arb_atom(N_QUBITS), 1..25),
+        seed in any::<u64>(),
+        batch in 1usize..12,
+    ) {
+        let program = build_program(&specs);
+        let n_stoch = program.n_stochastic_atoms();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let uniforms: Vec<f64> = (0..batch * n_stoch).map(|_| rng.gen()).collect();
+
+        let mut panel = TrajectoryPanel::new();
+        panel.reset_zero(N_QUBITS, batch);
+        panel.run_stochastic(&program, &uniforms);
+
+        let mut replay = StdRng::seed_from_u64(seed);
+        let mut ws = TrajectoryWorkspace::new();
+        for c in 0..batch {
+            ws.reset_zero(N_QUBITS);
+            ws.run_stochastic(&program, &mut replay);
+            let col = panel.column(c);
+            for (i, (a, b)) in col.iter().zip(ws.amplitudes().iter()).enumerate() {
+                prop_assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "column {} amplitude {}: {} vs {}", c, i, a, b
+                );
+            }
+        }
+    }
+
+    /// Wide registers exercise the wide-tile sweep regimes (`pair ≥ tile`
+    /// / `ms ≥ tile`) that 4-qubit programs never reach: on a 12-qubit
+    /// register every qubit from 6 up runs the tiled wide path (pair runs
+    /// of `2^q · b ≥ 512` elements), so this pins the panel's bit-identity
+    /// on the code paths the 16-qubit guadalupe workload uses.
+    #[test]
+    fn wide_register_panel_bit_identical(
+        seed in any::<u64>(),
+        width in prop_oneof![Just(1usize), Just(3), Just(8)],
+    ) {
+        const N: usize = 12;
+        let mut b = ProgramBuilder::new(N);
+        for q in 0..N {
+            b.unitary_1q(q, GateKind::Ry.entries_1q(0.2 + 0.1 * q as f64).unwrap());
+            b.depolarize_1q(q, 0.05);
+        }
+        for q in [0usize, 5, 10] {
+            b.cx(q, q + 1);
+            b.depolarize_2q(0.08, q, q + 1);
+            b.unitary_1q(q + 1, GateKind::Rz.entries_1q(-0.3).unwrap());
+        }
+        b.unitary_2q(11, 2, GateKind::Cry.entries_2q(0.9).unwrap());
+        let program = b.finish();
+        let qubits: Vec<usize> = (0..N).collect();
+        let mut ws = TrajectoryWorkspace::new();
+        let reference = estimate_prob_one(&mut ws, &program, &qubits, 8, seed);
+        let mut panel = TrajectoryPanel::new();
+        let got = estimate_prob_one_panel(&mut panel, &program, &qubits, 8, seed, width);
+        for q in 0..N {
+            prop_assert!(
+                got.p_one[q].to_bits() == reference.p_one[q].to_bits(),
+                "width {} qubit {}: {} vs {}",
+                width, q, got.p_one[q], reference.p_one[q]
+            );
+        }
+    }
+
+    /// The single-sweep all-qubit marginal accumulator matches the
+    /// per-qubit walk bit for bit on arbitrary reachable states.
+    #[test]
+    fn probs_one_all_matches_prob_one(
+        specs in proptest::collection::vec(arb_atom(N_QUBITS), 1..25),
+        seed in any::<u64>(),
+    ) {
+        let program = build_program(&specs);
+        let mut ws = TrajectoryWorkspace::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ws.reset_zero(N_QUBITS);
+        ws.run_stochastic(&program, &mut rng);
+        let all = ws.probs_one_all();
+        for (q, p) in all.iter().enumerate() {
+            prop_assert!(p.to_bits() == ws.prob_one(q).to_bits());
+        }
+    }
+}

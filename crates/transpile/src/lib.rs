@@ -13,7 +13,12 @@
 //! - [`fuse`]: the gate-fusion pass compiling native circuits (plus their
 //!   calibration-noise interleave) into prebound
 //!   [`quasim::fused::FusedProgram`]s, which the density-matrix kernels
-//!   execute in single passes — bit-identical to unfused execution.
+//!   execute in single passes — bit-identical to unfused execution;
+//! - [`template`]: compile-once/rebind-many circuit templates — the
+//!   structure-determined half of the pipeline (simplify + route) cached
+//!   per [`template::StructureKey`] and re-bound at fresh angles with a
+//!   single linear expansion pass, bit-identical to a from-scratch
+//!   compile.
 //!
 //! # Examples
 //!
@@ -37,8 +42,10 @@ pub mod circuit;
 pub mod expand;
 pub mod fuse;
 pub mod route;
+pub mod template;
 
 pub use circuit::{Circuit, Op, Param};
 pub use expand::{expand, NativeCircuit, NativeOp};
 pub use fuse::{fuse_gates, fuse_native, fuse_native_compacted, fuse_ops, QubitCompaction, SimOp};
 pub use route::{route, route_identity, with_fixed_params, PhysicalCircuit};
+pub use template::{structure_key, CircuitTemplate, StructureKey};

@@ -1,0 +1,166 @@
+//! Property tests of the compile-once/rebind-many templates: whenever two
+//! parameter vectors share a [`StructureKey`], re-binding a template
+//! compiled at the first must be **value-identical** (hence bit-identical
+//! matrices) to a from-scratch simplify → route → expand compile at the
+//! second — across random circuits, angle mixes (generic, quarter-turn,
+//! identity), and topologies.
+
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use transpile::circuit::{Circuit, Param};
+use transpile::expand::{expand, ANGLE_TOL};
+use transpile::route::route;
+use transpile::template::{structure_key, CircuitTemplate};
+
+const N_QUBITS: usize = 4;
+
+#[derive(Debug, Clone)]
+enum GateSpec {
+    Ry(usize),
+    Rz(usize),
+    Rx(usize),
+    Cry(usize, usize),
+    Crx(usize, usize),
+    Crz(usize, usize),
+    H(usize),
+    Cx(usize, usize),
+}
+
+fn arb_gate(n: usize) -> impl Strategy<Value = GateSpec> {
+    (0usize..8, 0usize..n, 0usize..n).prop_filter_map(
+        "distinct qubits for two-qubit gates",
+        move |(class, a, b)| match class {
+            0 => Some(GateSpec::Ry(a)),
+            1 => Some(GateSpec::Rz(a)),
+            2 => Some(GateSpec::Rx(a)),
+            3 if a != b => Some(GateSpec::Cry(a, b)),
+            4 if a != b => Some(GateSpec::Crx(a, b)),
+            5 if a != b => Some(GateSpec::Crz(a, b)),
+            6 => Some(GateSpec::H(a)),
+            7 if a != b => Some(GateSpec::Cx(a, b)),
+            _ => None,
+        },
+    )
+}
+
+/// Builds a circuit where gate `i` reads parameter `i` (fixed gates take
+/// no parameter but keep the count monotone for simplicity).
+fn build_circuit(specs: &[GateSpec]) -> Circuit {
+    let mut c = Circuit::new(N_QUBITS);
+    for (i, spec) in specs.iter().enumerate() {
+        match *spec {
+            GateSpec::Ry(q) => {
+                c.ry(q, Param::Idx(i));
+            }
+            GateSpec::Rz(q) => {
+                c.rz(q, Param::Idx(i));
+            }
+            GateSpec::Rx(q) => {
+                c.rx(q, Param::Idx(i));
+            }
+            GateSpec::Cry(a, b) => {
+                c.cry(a, b, Param::Idx(i));
+            }
+            GateSpec::Crx(a, b) => {
+                c.crx(a, b, Param::Idx(i));
+            }
+            GateSpec::Crz(a, b) => {
+                c.crz(a, b, Param::Idx(i));
+            }
+            GateSpec::H(q) => {
+                c.h(q);
+            }
+            GateSpec::Cx(a, b) => {
+                c.cx(a, b);
+            }
+        }
+    }
+    c
+}
+
+/// An angle that lands on one of the structural classes: identity (0),
+/// quarter turns, half turns, or a generic value — plus 2π/4π wraps so the
+/// modular classification is exercised.
+fn arb_angle() -> impl Strategy<Value = f64> {
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+    prop_oneof![
+        Just(0.0),
+        Just(FRAC_PI_2),
+        Just(-FRAC_PI_2),
+        Just(PI),
+        Just(3.0 * FRAC_PI_2),
+        Just(TAU),
+        Just(2.0 * TAU),
+        Just(-TAU),
+        -7.0f64..7.0,
+    ]
+}
+
+/// From-scratch pipeline at `theta`.
+fn from_scratch(circuit: &Circuit, topo: &Topology, theta: &[f64]) -> transpile::NativeCircuit {
+    expand(
+        &route(&circuit.simplified(theta, ANGLE_TOL), topo, None),
+        theta,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Re-binding a template at any same-key parameter vector reproduces
+    /// the from-scratch compile exactly (op kinds, qubits, pulse counts,
+    /// and bound angles — `NativeCircuit: PartialEq` compares all of them,
+    /// and `f64` equality here means identical bits for non-NaN angles).
+    #[test]
+    fn rebind_equals_from_scratch_for_equal_keys(
+        specs in proptest::collection::vec(arb_gate(N_QUBITS), 1..20),
+        thetas in proptest::collection::vec(
+            proptest::collection::vec(arb_angle(), 20), 2..5),
+    ) {
+        let circuit = build_circuit(&specs);
+        let topo = Topology::ibm_belem();
+        let first = &thetas[0];
+        let template = CircuitTemplate::compile(&circuit, &topo, first, ANGLE_TOL);
+        prop_assert_eq!(template.bind(first), from_scratch(&circuit, &topo, first));
+        for theta in &thetas[1..] {
+            let same_key = structure_key(&circuit, theta, ANGLE_TOL) == *template.key();
+            if same_key {
+                prop_assert_eq!(template.bind(theta), from_scratch(&circuit, &topo, theta));
+            } else {
+                // Different key: a fresh template at that vector must
+                // itself round-trip.
+                let other = CircuitTemplate::compile(&circuit, &topo, theta, ANGLE_TOL);
+                prop_assert_eq!(other.bind(theta), from_scratch(&circuit, &topo, theta));
+            }
+        }
+    }
+
+    /// The key is sound: equal keys imply value-identical simplified
+    /// circuits (the input routing sees), so the cached route is valid for
+    /// every same-key vector.
+    #[test]
+    fn equal_keys_imply_identical_simplified_structure(
+        specs in proptest::collection::vec(arb_gate(N_QUBITS), 1..20),
+        theta_a in proptest::collection::vec(arb_angle(), 20),
+        theta_b in proptest::collection::vec(arb_angle(), 20),
+    ) {
+        let circuit = build_circuit(&specs);
+        let ka = structure_key(&circuit, &theta_a, ANGLE_TOL);
+        let kb = structure_key(&circuit, &theta_b, ANGLE_TOL);
+        if ka == kb {
+            let sa = circuit.simplified(&theta_a, ANGLE_TOL);
+            let sb = circuit.simplified(&theta_b, ANGLE_TOL);
+            prop_assert_eq!(sa.ops(), sb.ops());
+            // And the native schedules agree structurally: same kinds and
+            // qubits op for op (pulse costs may differ — they are
+            // re-derived from the actual angles at bind time).
+            let na = from_scratch(&circuit, &Topology::ibm_belem(), &theta_a);
+            let nb = from_scratch(&circuit, &Topology::ibm_belem(), &theta_b);
+            prop_assert_eq!(na.ops().len(), nb.ops().len());
+            for (x, y) in na.ops().iter().zip(nb.ops().iter()) {
+                prop_assert_eq!(x.gate.kind(), y.gate.kind());
+                prop_assert_eq!(x.gate.qubits(), y.gate.qubits());
+            }
+        }
+    }
+}
