@@ -32,13 +32,13 @@ fn bench_statevector(c: &mut Criterion) {
                 sv
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("pure_eval_mnist_model", |b| {
         let model = VqcModel::paper_model(4, 4, 16, 2);
         let weights = model.init_weights(1);
         let features = vec![0.5; 16];
-        b.iter(|| pure_z_scores(black_box(&model), &features, &weights))
+        b.iter(|| pure_z_scores(black_box(&model), &features, &weights));
     });
     g.finish();
 }
@@ -54,7 +54,7 @@ fn bench_density(c: &mut Criterion) {
                 rho
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("fast_depolarizing_2q_5q", |b| {
         b.iter_batched(
@@ -64,7 +64,7 @@ fn bench_density(c: &mut Criterion) {
                 rho
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("kraus_depolarizing_2q_5q", |b| {
         let ch = KrausChannel::depolarizing_2q(0.01);
@@ -75,7 +75,7 @@ fn bench_density(c: &mut Criterion) {
                 rho
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("noisy_eval_mnist_model_belem", |b| {
         let model = VqcModel::paper_model(4, 4, 16, 2);
@@ -84,7 +84,7 @@ fn bench_density(c: &mut Criterion) {
         let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1e-2, 0.02);
         let weights = model.init_weights(1);
         let features = vec![0.5; 16];
-        b.iter(|| exec.z_scores(black_box(&features), &weights, &snap))
+        b.iter(|| exec.z_scores(black_box(&features), &weights, &snap));
     });
     g.bench_function("noisy_eval_mnist_model_belem_unfused", |b| {
         // The op-by-op differential-testing reference, for comparison with
@@ -95,7 +95,7 @@ fn bench_density(c: &mut Criterion) {
         let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 1e-2, 0.02);
         let weights = model.init_weights(1);
         let features = vec![0.5; 16];
-        b.iter(|| exec.z_scores_seeded_unfused(black_box(&features), &weights, &snap, 0))
+        b.iter(|| exec.z_scores_seeded_unfused(black_box(&features), &weights, &snap, 0));
     });
     g.finish();
 }
@@ -129,7 +129,7 @@ fn bench_fused(c: &mut Criterion) {
     };
 
     g.bench_function("compile_native_to_program", |b| {
-        b.iter(|| fuse_native(black_box(&native), noise))
+        b.iter(|| fuse_native(black_box(&native), noise));
     });
 
     let program = fuse_native(&native, noise);
@@ -139,7 +139,7 @@ fn bench_fused(c: &mut Criterion) {
             ws.reset_zero(program.n_qubits());
             ws.run(black_box(&program));
             ws.prob_one(0)
-        })
+        });
     });
 
     // Same ops, one segment per op (no fusion): quantifies the pass win.
@@ -166,12 +166,12 @@ fn bench_fused(c: &mut Criterion) {
                     SimOp::Gate(gate) => rho.apply_gate(black_box(gate)),
                     SimOp::Depolarize1 { q, lambda } => rho.apply_depolarizing_1q(*lambda, *q),
                     SimOp::Depolarize2 { a, b, lambda } => {
-                        rho.apply_depolarizing_2q(*lambda, *a, *b)
+                        rho.apply_depolarizing_2q(*lambda, *a, *b);
                     }
                 }
             }
             rho.prob_one(0)
-        })
+        });
     });
     g.finish();
 }
@@ -206,7 +206,7 @@ fn bench_trajectory(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("per_trajectory_10q_64t", |bch| {
         let mut ws = TrajectoryWorkspace::new();
-        bch.iter(|| estimate_prob_one(&mut ws, black_box(&program), &qubits, n_traj, 7))
+        bch.iter(|| estimate_prob_one(&mut ws, black_box(&program), &qubits, n_traj, 7));
     });
     // Panel sweeps at B ∈ {1, 8, 64}: same bits, amortised dispatch.
     for width in [1usize, 8, 64] {
@@ -214,7 +214,7 @@ fn bench_trajectory(c: &mut Criterion) {
             let mut panel = TrajectoryPanel::new();
             bch.iter(|| {
                 estimate_prob_one_panel(&mut panel, black_box(&program), &qubits, n_traj, 7, width)
-            })
+            });
         });
     }
     g.finish();
@@ -238,12 +238,12 @@ fn bench_rebind(c: &mut Criterion) {
             let simplified = model.circuit().simplified(black_box(&full), ANGLE_TOL);
             let phys = route(&simplified, &topo, None);
             expand(&phys, &full)
-        })
+        });
     });
     // … versus the residual rebind cost (expansion only).
     let template = CircuitTemplate::compile(model.circuit(), &topo, &full, ANGLE_TOL);
     g.bench_function("template_bind_mnist", |b| {
-        b.iter(|| template.bind(black_box(&full)))
+        b.iter(|| template.bind(black_box(&full)));
     });
     // End-to-end: warm-cache noisy evaluation (every call a cache hit).
     let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::default());
@@ -252,7 +252,7 @@ fn bench_rebind(c: &mut Criterion) {
     let features = vec![0.5; 16];
     let _ = exec.z_scores_seeded(&features, &weights, &snap, 0); // warm
     g.bench_function("warm_cache_noisy_eval_mnist", |b| {
-        b.iter(|| exec.z_scores_seeded(black_box(&features), &weights, &snap, 0))
+        b.iter(|| exec.z_scores_seeded(black_box(&features), &weights, &snap, 0));
     });
     g.finish();
 }
@@ -262,21 +262,21 @@ fn bench_transpile(c: &mut Criterion) {
     let model = VqcModel::paper_model(4, 4, 16, 2);
     let topo = Topology::ibm_belem();
     g.bench_function("route_mnist_model_belem", |b| {
-        b.iter(|| route_identity(black_box(model.circuit()), &topo))
+        b.iter(|| route_identity(black_box(model.circuit()), &topo));
     });
     let phys = route_identity(model.circuit(), &topo);
     let full: Vec<f64> = (0..model.circuit().n_params())
         .map(|i| i as f64 * 0.1)
         .collect();
     g.bench_function("expand_mnist_model", |b| {
-        b.iter(|| expand(black_box(&phys), &full))
+        b.iter(|| expand(black_box(&phys), &full));
     });
     let mut small = Circuit::new(4);
     for q in 0..4 {
         small.cry(q, (q + 1) % 4, Param::Idx(q));
     }
     g.bench_function("route_ring_4cry", |b| {
-        b.iter(|| route_identity(black_box(&small), &topo))
+        b.iter(|| route_identity(black_box(&small), &topo));
     });
     g.finish();
 }
@@ -287,14 +287,17 @@ fn bench_framework(c: &mut Criterion) {
     g.bench_function("levels_snap_80_params", |b| {
         let table = CompressionTable::standard();
         let theta: Vec<f64> = (0..80).map(|i| i as f64 * 0.173).collect();
-        b.iter(|| table.snap_all(black_box(&theta)))
+        b.iter(|| table.snap_all(black_box(&theta)));
     });
     g.bench_function("kmedians_48x14_k6", |b| {
         let topo = Topology::ibm_belem();
         let hist = calibration::history::HistoryConfig::belem_like(48, 3).generate(&topo);
-        let samples: Vec<Vec<f64>> = hist.iter().map(|s| s.feature_vector()).collect();
+        let samples: Vec<Vec<f64>> = hist
+            .iter()
+            .map(calibration::CalibrationSnapshot::feature_vector)
+            .collect();
         let w = vec![1.0; samples[0].len()];
-        b.iter(|| kmedians_weighted_l1(black_box(&samples), &w, 6, 1, 40))
+        b.iter(|| kmedians_weighted_l1(black_box(&samples), &w, 6, 1, 40));
     });
     g.bench_function("batch_loss_iris_pure_b8", |b| {
         let model = VqcModel::paper_model(4, 3, 4, 3);
@@ -303,7 +306,7 @@ fn bench_framework(c: &mut Criterion) {
         let batch: Vec<&qnn::data::Sample> = data.train.iter().take(8).collect();
         b.iter(|| {
             qnn::train::batch_loss(black_box(&model), qnn::train::Env::Pure, &batch, &weights)
-        })
+        });
     });
     g.finish();
 }
@@ -328,7 +331,7 @@ fn bench_parallel_eval(c: &mut Criterion) {
                 0,
                 1,
             )
-        })
+        });
     });
     g.bench_function(&format!("batch_accuracy_24_samples_{threads}thr"), |b| {
         b.iter(|| {
@@ -340,7 +343,7 @@ fn bench_parallel_eval(c: &mut Criterion) {
                 0,
                 threads,
             )
-        })
+        });
     });
     g.finish();
 }

@@ -28,8 +28,8 @@ fn main() {
     let labels = CalibrationSnapshot::feature_labels(&topo);
     for (dim, label) in labels.iter().enumerate() {
         let series = history.feature_series(dim);
-        let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = series.iter().cloned().fold(0.0_f64, f64::max);
+        let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().copied().fold(0.0_f64, f64::max);
         println!(
             "  {label:>16}: min {lo:.3e}  max {hi:.3e}  mean {:.3e}  sd {:.3e}",
             mean(&series),

@@ -50,7 +50,7 @@ fn main() {
         "(b) compression on first day:          mean {}",
         pct(s_cmp.mean_accuracy)
     );
-    let worst_nat = nat_acc.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst_nat = nat_acc.iter().copied().fold(f64::INFINITY, f64::min);
     println!(
         "worst day (noise-aware): {} — the paper's Observation-1 collapse \
          (80% -> 22% when error rates spiked)",

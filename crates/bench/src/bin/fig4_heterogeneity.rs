@@ -34,7 +34,7 @@ fn main() {
             let _ = (a, b);
             row.push(format!("{:.4}", snap.cnot_error[e]));
         }
-        let worst = snap.worst_cnot_edge().map(|(e, _)| e).unwrap_or(0);
+        let worst = snap.worst_cnot_edge().map_or(0, |(e, _)| e);
         let (wa, wb) = exp.topology.edges()[worst];
         row.push(format!("CX{wa}_{wb}"));
         rows.push(row);
@@ -47,7 +47,7 @@ fn main() {
             .map(|&(a, b)| format!("CX{a}_{b}")),
     );
     headers.push("worst edge".into());
-    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let hdr_refs: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
     println!("{}", render_table(&hdr_refs, &rows));
     println!("expected shape: the worst edge differs across dates (Observation 2).");
     println!();
@@ -93,7 +93,10 @@ fn main() {
     for &i in &idx {
         csv_headers.push(format!("trained_day_{}", online[i].day));
     }
-    let ch: Vec<&str> = csv_headers.iter().map(|s| s.as_str()).collect();
+    let ch: Vec<&str> = csv_headers
+        .iter()
+        .map(std::string::String::as_str)
+        .collect();
     println!("{}", to_csv(&ch, &csv_rows));
     println!(
         "expected shape: each model peaks around its own compression date; \

@@ -44,7 +44,7 @@ fn main() {
         });
     }
 
-    let qucad_evals = results.last().map(|r| r.online_evals.max(1)).unwrap_or(1);
+    let qucad_evals = results.last().map_or(1, |r| r.online_evals.max(1));
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {

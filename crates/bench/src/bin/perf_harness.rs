@@ -48,6 +48,7 @@ fn resolve_rev() -> String {
         return rev;
     }
     for var in ["QUCAD_BENCH_REV", "GITHUB_SHA"] {
+        // qucad-lint: allow(env-read) — audited entry point: CI revision stamp for perf baselines
         if let Ok(v) = std::env::var(var) {
             if !v.trim().is_empty() {
                 return v.trim().chars().take(12).collect();
@@ -97,9 +98,9 @@ fn verify_thread_invariance(exp: &Experiment) {
 fn main() {
     let rev = resolve_rev();
     let out_dir = arg_value("out-dir").unwrap_or_else(|| ".".to_string());
-    let max_regression: f64 = arg_value("max-regression")
-        .map(|v| v.parse().expect("--max-regression must be a number"))
-        .unwrap_or(0.25);
+    let max_regression: f64 = arg_value("max-regression").map_or(0.25, |v| {
+        v.parse().expect("--max-regression must be a number")
+    });
     let threads = parallel::worker_threads();
 
     eprintln!("[perf] measuring machine probe ...");

@@ -11,6 +11,10 @@
 //! `paper` (full 243+146-day protocol). Select with the `QUCAD_SCALE`
 //! environment variable or a `--scale=` CLI argument.
 
+// No unsafe code belongs in this crate; the only sanctioned unsafe in the
+// workspace is quasim's (future) SIMD kernel layer.
+#![forbid(unsafe_code)]
+
 pub mod perf;
 
 use calibration::history::{FluctuatingHistory, HistoryConfig};
@@ -51,6 +55,7 @@ impl Scale {
                 }
             }
         }
+        // qucad-lint: allow(env-read) — audited entry point: experiment scale selection
         std::env::var("QUCAD_SCALE")
             .ok()
             .and_then(|v| from_str(&v))

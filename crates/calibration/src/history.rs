@@ -351,7 +351,10 @@ mod tests {
         let topo = Topology::ibm_belem();
         let cfg = HistoryConfig::belem_like(400, 5);
         let hist = cfg.generate(&topo);
-        let cnot_means: Vec<f64> = hist.iter().map(|s| s.mean_cnot_error()).collect();
+        let cnot_means: Vec<f64> = hist
+            .iter()
+            .map(super::super::snapshot::CalibrationSnapshot::mean_cnot_error)
+            .collect();
         let m = mean(&cnot_means);
         // Within a factor ~3 of the base (log-normal with spikes skews up).
         assert!(
@@ -366,8 +369,8 @@ mod tests {
         let hist = FluctuatingHistory::generate(&topo, &HistoryConfig::belem_like(300, 11), 200);
         // CNOT error on the first edge varies by at least 2x across the year.
         let series = hist.feature_series(5);
-        let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = series.iter().cloned().fold(0.0, f64::max);
+        let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().copied().fold(0.0, f64::max);
         assert!(hi / lo > 2.0, "expected fluctuation, got {lo}..{hi}");
     }
 
@@ -388,7 +391,10 @@ mod tests {
     fn calm_config_is_nearly_flat() {
         let topo = Topology::ibm_belem();
         let hist = HistoryConfig::calm(120, 17).generate(&topo);
-        let series: Vec<f64> = hist.iter().map(|s| s.mean_cnot_error()).collect();
+        let series: Vec<f64> = hist
+            .iter()
+            .map(super::super::snapshot::CalibrationSnapshot::mean_cnot_error)
+            .collect();
         assert!(std_dev(&series) / mean(&series) < 0.15);
     }
 

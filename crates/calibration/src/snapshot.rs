@@ -104,7 +104,7 @@ impl CalibrationSnapshot {
         let mut v = Vec::with_capacity(self.feature_dim());
         v.extend_from_slice(&self.single_qubit_error);
         v.extend_from_slice(&self.cnot_error);
-        v.extend(self.readout.iter().map(|r| r.mean_error()));
+        v.extend(self.readout.iter().map(quasim::ReadoutError::mean_error));
         v
     }
 

@@ -160,7 +160,7 @@ pub fn kmedians_weighted_l1(
 /// As [`kmedians_weighted_l1`]; `weights` is still used for the reported
 /// objective's dimension count check but distances ignore it.
 pub fn kmeans_l2(samples: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Clustering {
-    let dim = samples.first().map_or(0, |s| s.len());
+    let dim = samples.first().map_or(0, std::vec::Vec::len);
     let uniform = vec![1.0; dim];
     run_kmeans(samples, &uniform, k, seed, max_iters, Metric::L2)
 }

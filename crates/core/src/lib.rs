@@ -46,6 +46,9 @@
 //! }
 //! ```
 
+// No unsafe code belongs in this crate; the only sanctioned unsafe in the
+// workspace is quasim's (future) SIMD kernel layer.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admm;

@@ -80,7 +80,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         line
     };
-    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let header_cells: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     let sep = {
         let mut s = String::from("|");
         for w in &widths {

@@ -223,7 +223,7 @@ mod tests {
         let r = ModelRepository::new(vec![1.0], 5.0, None);
         match r.match_features(&[0.0]) {
             MatchOutcome::Miss { nearest_distance } => {
-                assert!(nearest_distance.is_infinite())
+                assert!(nearest_distance.is_infinite());
             }
             other => panic!("expected Miss, got {other:?}"),
         }
@@ -247,7 +247,7 @@ mod tests {
         let r = repo();
         match r.match_features(&[5.0, 0.0]) {
             MatchOutcome::Miss { nearest_distance } => {
-                assert!((nearest_distance - 5.0).abs() < 1e-12)
+                assert!((nearest_distance - 5.0).abs() < 1e-12);
             }
             other => panic!("expected Miss, got {other:?}"),
         }

@@ -162,8 +162,8 @@ proptest! {
         let s = SeriesSummary::from_series(&acc);
         prop_assert!(s.days_over_80 <= s.days_over_70);
         prop_assert!(s.days_over_70 <= s.days_over_50);
-        let lo = acc.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = acc.iter().cloned().fold(0.0, f64::max);
+        let lo = acc.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = acc.iter().copied().fold(0.0, f64::max);
         prop_assert!(s.mean_accuracy >= lo - 1e-12 && s.mean_accuracy <= hi + 1e-12);
         prop_assert!(s.variance >= 0.0);
     }

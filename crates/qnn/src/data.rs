@@ -215,7 +215,7 @@ fn seismic_features(event: bool, rng: &mut StdRng) -> Vec<f64> {
     let mut trace = [0.0f64; LEN];
     // AR(1) coloured background noise.
     let mut x = 0.0;
-    for slot in trace.iter_mut() {
+    for slot in &mut trace {
         x = 0.7 * x + calibration::stats::sample_normal(rng);
         *slot = x;
     }

@@ -159,6 +159,7 @@ impl SimBackend {
     ///
     /// As [`SimBackend::from_env`] on an unknown name.
     pub fn from_env_or(default: SimBackend) -> SimBackend {
+        // qucad-lint: allow(env-read) — audited entry point: simulation backend selection
         match std::env::var("QUCAD_BACKEND") {
             Ok(v) if !v.trim().is_empty() => SimBackend::parse(&v).unwrap_or_else(|| {
                 panic!("QUCAD_BACKEND must be 'density' or 'trajectory', got '{v}'")
@@ -443,6 +444,19 @@ impl NoisyExecutor {
         let mut cache = self.cache.borrow_mut();
         let cache = &mut *cache;
         if let Some(entry) = cache.entries.get(&key) {
+            // Rebind-boundary invariant check: the cached template's key
+            // must equal the bound vector's — binding across structures
+            // would silently diverge from a from-scratch compile.
+            debug_assert!(
+                transpile::verify::verify_bound(
+                    &entry.template,
+                    self.model.circuit(),
+                    full,
+                    ANGLE_TOL
+                )
+                .is_ok(),
+                "program cache hit on a structurally different template"
+            );
             cache.stats.hits += 1;
             return (entry.template.bind(full), entry.compaction.clone());
         }
@@ -452,14 +466,25 @@ impl NoisyExecutor {
         let native = template.bind(full);
         let compaction = self.compaction(&native);
         if cache.entries.len() >= MAX_CACHED_STRUCTURES {
+            // Generational eviction: drop the whole generation at once so
+            // hot keys re-warm immediately (never evict-on-hit).
             cache.entries.clear();
+            debug_assert!(cache.entries.is_empty(), "generational clear left entries");
         }
-        cache.entries.insert(
+        debug_assert!(
+            cache.entries.len() < MAX_CACHED_STRUCTURES,
+            "program cache insert would exceed the {MAX_CACHED_STRUCTURES}-entry cap"
+        );
+        let evicted = cache.entries.insert(
             key,
             CachedStructure {
                 template,
                 compaction: compaction.clone(),
             },
+        );
+        debug_assert!(
+            evicted.is_none(),
+            "program cache miss raced an existing entry for the same key"
         );
         (native, compaction)
     }
@@ -798,6 +823,7 @@ pub mod parallel {
     /// `QUCAD_THREADS` if set to a positive integer, otherwise the
     /// machine's available parallelism.
     pub fn worker_threads() -> usize {
+        // qucad-lint: allow(env-read) — audited entry point: worker thread count
         if let Ok(v) = std::env::var("QUCAD_THREADS") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 if n > 0 {
@@ -805,7 +831,7 @@ pub mod parallel {
                 }
             }
         }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 
     /// Combines a day-level stream with a sample index into the evaluation
@@ -1002,7 +1028,7 @@ mod tests {
     fn readout_error_flips_scores() {
         let (model, topo, exec) = setup();
         let mut snap = CalibrationSnapshot::uniform(&topo, 0, 0.0, 0.0, 0.0);
-        for r in snap.readout.iter_mut() {
+        for r in &mut snap.readout {
             *r = quasim::noise::ReadoutError::new(0.5, 0.5);
         }
         let weights = vec![0.0; model.n_weights()];

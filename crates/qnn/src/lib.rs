@@ -40,6 +40,9 @@
 //! println!("noisy accuracy: {}", evaluate(&model, env, &data.test, &result.weights));
 //! ```
 
+// No unsafe code belongs in this crate; the only sanctioned unsafe in the
+// workspace is quasim's (future) SIMD kernel layer.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod data;

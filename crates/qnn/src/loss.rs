@@ -24,7 +24,7 @@ pub fn logits_from_z(z_scores: &[f64]) -> Vec<f64> {
 /// Panics if `logits` is empty.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
     assert!(!logits.is_empty(), "softmax needs at least one logit");
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
     let total: f64 = exps.iter().sum();
     exps.iter().map(|&e| e / total).collect()

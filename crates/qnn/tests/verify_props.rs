@@ -1,0 +1,112 @@
+//! Property tests of the static verifier against the *real* pipeline:
+//! every fused program the executor compiles — across random angle mixes,
+//! calibration days, five device topologies, and both simulation
+//! backends — must pass `quasim::verify_program`, and its derived panel
+//! supergroup plan must pass `verify_supergroup_plan`. The verifier
+//! rejecting corrupted programs is proven in `quasim::verify::mutate`'s
+//! own tests; this suite proves the complement: it never rejects a
+//! program the pipeline can actually produce.
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use qnn::executor::{NoiseOptions, NoisyExecutor, SimBackend};
+use qnn::model::VqcModel;
+use quasim::trajectory::supergroup_plan;
+use quasim::{verify_program, verify_supergroup_plan};
+
+/// Feature-sized angle vectors mixing generic values with the compression
+/// levels (0, π/2, π, 3π/2) that change the compiled program's structure.
+fn arb_angles(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            Just(FRAC_PI_2),
+            Just(PI),
+            Just(3.0 * FRAC_PI_2),
+            Just(TAU),
+            -6.0f64..6.0,
+        ],
+        len,
+    )
+}
+
+fn arb_day() -> impl Strategy<Value = (u64, f64, f64, f64)> {
+    (0u64..1000, 0.0f64..4e-3, 0.0f64..5e-2, 0.0f64..0.05)
+}
+
+/// The devices under test. `ibm_guadalupe` (16 qubits) exceeds
+/// [`quasim::density::MAX_DENSITY_QUBITS`], so it runs on the trajectory
+/// backend only; every other device is exercised on both backends.
+fn devices() -> Vec<(Topology, Vec<SimBackend>)> {
+    let both = vec![SimBackend::Density, SimBackend::Trajectory];
+    vec![
+        (Topology::ibm_belem(), both.clone()),
+        (Topology::ibm_jakarta(), both.clone()),
+        (Topology::line(4), both.clone()),
+        (Topology::ring(5), both),
+        (Topology::ibm_guadalupe(), vec![SimBackend::Trajectory]),
+    ]
+}
+
+/// A model sized for the device: the Table I 4-qubit shape everywhere it
+/// fits, the Fig. 10 16-qubit shape on guadalupe.
+fn model_for(topology: &Topology) -> VqcModel {
+    if topology.n_qubits() >= 16 {
+        VqcModel::paper_model(16, 4, 16, 1)
+    } else {
+        VqcModel::paper_model(4, 3, 4, 1)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `verify_program` accepts every program the pipeline compiles, and
+    /// `verify_supergroup_plan` accepts the plan the panel engine derives
+    /// for it — over random angles × days × devices × backends.
+    #[test]
+    fn pipeline_programs_always_verify(
+        features in arb_angles(16),
+        weights in arb_angles(200),
+        day in arb_day(),
+    ) {
+        let (day_seed, e1, e2, er) = day;
+        for (topo, backends) in devices() {
+            let model = model_for(&topo);
+            prop_assert!(model.n_weights() <= weights.len());
+            let features = &features[..model.n_features()];
+            let weights = &weights[..model.n_weights()];
+            let snap = CalibrationSnapshot::uniform(
+                &topo, day_seed as usize, e1, e2, er);
+            for backend in backends {
+                let options = NoiseOptions {
+                    backend,
+                    ..NoiseOptions::with_shots(256, 7)
+                };
+                let exec = NoisyExecutor::new(&model, &topo, options);
+                let (measured, program) =
+                    exec.compile_program(features, weights, &snap);
+                prop_assert!(
+                    verify_program(&program).is_ok(),
+                    "rejected a pipeline program on {} ({}): {}",
+                    topo.name(),
+                    backend.name(),
+                    verify_program(&program).unwrap_err()
+                );
+                let plan = supergroup_plan(&program);
+                prop_assert!(
+                    verify_supergroup_plan(&program, &plan).is_ok(),
+                    "rejected the derived supergroup plan on {} ({}): {}",
+                    topo.name(),
+                    backend.name(),
+                    verify_supergroup_plan(&program, &plan).unwrap_err()
+                );
+                for &q in &measured {
+                    prop_assert!(q < program.n_qubits());
+                }
+            }
+        }
+    }
+}

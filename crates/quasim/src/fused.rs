@@ -127,8 +127,8 @@ pub enum Support {
 /// A maximal run of consecutive atoms sharing a support.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Segment {
-    support: Support,
-    atoms: std::ops::Range<usize>,
+    pub(crate) support: Support,
+    pub(crate) atoms: std::ops::Range<usize>,
 }
 
 impl Segment {
@@ -146,16 +146,21 @@ impl Segment {
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
     }
+
+    /// The segment's atom index range within the program's atom table.
+    pub fn atom_range(&self) -> std::ops::Range<usize> {
+        self.atoms.clone()
+    }
 }
 
 /// A compiled, prebound, fusion-grouped density-matrix program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FusedProgram {
-    n_qubits: usize,
-    segments: Vec<Segment>,
-    atoms: Vec<FusedAtom>,
-    m2s: Vec<M2>,
-    m4s: Vec<M4>,
+    pub(crate) n_qubits: usize,
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) atoms: Vec<FusedAtom>,
+    pub(crate) m2s: Vec<M2>,
+    pub(crate) m4s: Vec<M4>,
 }
 
 impl FusedProgram {
@@ -188,6 +193,22 @@ impl FusedProgram {
     /// Prebound 4×4 matrix referenced by a [`FusedAtom::Unitary2`].
     pub fn m4(&self, idx: u32) -> &M4 {
         &self.m4s[idx as usize]
+    }
+
+    /// Number of prebound 2×2 matrices in the program's table.
+    pub fn n_m2s(&self) -> usize {
+        self.m2s.len()
+    }
+
+    /// Number of prebound 4×4 matrices in the program's table.
+    pub fn n_m4s(&self) -> usize {
+        self.m4s.len()
+    }
+
+    /// All atoms in program order (segment boundaries via
+    /// [`Segment::atom_range`]).
+    pub fn atoms(&self) -> &[FusedAtom] {
+        &self.atoms
     }
 
     /// Whether the program contains no stochastic (noise-channel) atom, so
@@ -396,13 +417,22 @@ impl ProgramBuilder {
     /// Finalises the program.
     pub fn finish(mut self) -> FusedProgram {
         self.flush();
-        FusedProgram {
+        let program = FusedProgram {
             n_qubits: self.n_qubits,
             segments: self.segments,
             atoms: self.atoms,
             m2s: self.m2s,
             m4s: self.m4s,
-        }
+        };
+        // Compile-boundary invariant check: every program leaving the
+        // builder satisfies the full IR contract (debug/test builds only;
+        // release builds rely on `verify_program` being run explicitly).
+        debug_assert!(
+            crate::verify::verify_program(&program).is_ok(),
+            "builder produced an invalid program: {}",
+            crate::verify::verify_program(&program).unwrap_err()
+        );
+        program
     }
 }
 

@@ -20,7 +20,11 @@
 //! - [`trajectory`]: Monte-Carlo wavefunction (quantum-trajectory)
 //!   simulation — the same fused programs unraveled into stochastic jumps
 //!   on a pure state at O(2^n) per trajectory, unlocking registers beyond
-//!   the dense-`ρ` cap (e.g. the 16-qubit `ibm_guadalupe`).
+//!   the dense-`ρ` cap (e.g. the 16-qubit `ibm_guadalupe`);
+//! - [`verify`]: static IR verification — every structural invariant of a
+//!   compiled [`fused::FusedProgram`], its panel supergroup plan, and Kraus
+//!   completeness, checked without executing a kernel, plus the seeded
+//!   program mutator that proves the checks reject corrupted IR.
 //!
 //! # Examples
 //!
@@ -55,6 +59,7 @@ pub mod math;
 pub mod noise;
 pub mod statevector;
 pub mod trajectory;
+pub mod verify;
 
 pub use density::{DensityMatrix, SimWorkspace};
 pub use fused::{FusedProgram, ProgramBuilder};
@@ -63,3 +68,4 @@ pub use math::{CMatrix, Complex64};
 pub use noise::{KrausChannel, ReadoutError};
 pub use statevector::StateVector;
 pub use trajectory::{TrajectoryEstimate, TrajectoryPanel, TrajectoryWorkspace};
+pub use verify::{verify_channel, verify_program, verify_supergroup_plan, VerifyError};

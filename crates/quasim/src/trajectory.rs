@@ -481,6 +481,7 @@ pub fn auto_panel_width(n_qubits: usize) -> usize {
 /// Panics if `QUCAD_TRAJ_BATCH` is set to anything but a positive integer,
 /// so CI matrix typos fail loudly.
 pub fn panel_width_from_env(n_qubits: usize, n_trajectories: u32) -> usize {
+    // qucad-lint: allow(env-read) — audited entry point: trajectory panel width
     let width = match std::env::var("QUCAD_TRAJ_BATCH") {
         Ok(v) if !v.trim().is_empty() => v
             .trim()
@@ -492,6 +493,104 @@ pub fn panel_width_from_env(n_qubits: usize, n_trajectories: u32) -> usize {
         _ => auto_panel_width(n_qubits),
     };
     width.min((n_trajectories.max(1)) as usize)
+}
+
+/// Union-support cap of a panel supergroup: consecutive fused segments are
+/// grouped for single-pass execution only while their combined support
+/// stays within this many qubits (the tiled kernels walk pair or quartet
+/// strips, nothing wider).
+pub const SUPERGROUP_CAP: usize = 2;
+
+/// One panel supergroup: a maximal run of consecutive fused segments whose
+/// union support fits within [`SUPERGROUP_CAP`] qubits. `u` is the first
+/// support qubit seen (the group's wire `A`), `v` the second if any.
+///
+/// The plan is a pure function of the program's segment list; it is what
+/// [`TrajectoryPanel::run_stochastic`] executes one tiled panel pass per
+/// entry, and what [`crate::verify::verify_program`] re-derives to check
+/// the supergroup invariants statically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Supergroup {
+    /// Segment index range of the group (into `program.segments()`).
+    pub segments: std::ops::Range<usize>,
+    /// The group's first support qubit (wire `A` of the tiled pass).
+    pub u: usize,
+    /// The group's second support qubit (wire `B`), if the union support
+    /// spans two qubits.
+    pub v: Option<usize>,
+}
+
+/// Streaming iterator over a program's supergroup plan (no allocation;
+/// [`supergroup_plan`] collects it).
+#[derive(Debug, Clone)]
+pub struct Supergroups<'a> {
+    program: &'a FusedProgram,
+    next: usize,
+}
+
+/// Support qubits of a segment as the planner's `(first, second)` pair.
+#[inline]
+fn support_qubits(seg: &Segment) -> (usize, Option<usize>) {
+    match seg.support() {
+        Support::One(q) => (q, None),
+        Support::Two(a, b) => (a, Some(b)),
+    }
+}
+
+impl Iterator for Supergroups<'_> {
+    type Item = Supergroup;
+
+    fn next(&mut self) -> Option<Supergroup> {
+        let segs = self.program.segments();
+        if self.next >= segs.len() {
+            return None;
+        }
+        // Greedily extend the supergroup while the union support stays
+        // within two qubits (first-seen order fixes the group's (u, v)
+        // wire basis).
+        let start = self.next;
+        let (u, mut v) = support_qubits(&segs[start]);
+        let mut end = start + 1;
+        while end < segs.len() {
+            let (a, bq) = support_qubits(&segs[end]);
+            let mut nv = v;
+            let mut fits = true;
+            for q in [Some(a), bq].into_iter().flatten() {
+                if q == u || nv == Some(q) {
+                    continue;
+                }
+                if nv.is_none() {
+                    nv = Some(q);
+                } else {
+                    fits = false;
+                    break;
+                }
+            }
+            if !fits {
+                break;
+            }
+            v = nv;
+            end += 1;
+        }
+        self.next = end;
+        Some(Supergroup {
+            segments: start..end,
+            u,
+            v,
+        })
+    }
+}
+
+/// The supergroup plan of a program as a streaming iterator — the exact
+/// grouping [`TrajectoryPanel::run_stochastic`] executes.
+pub fn supergroups(program: &FusedProgram) -> Supergroups<'_> {
+    Supergroups { program, next: 0 }
+}
+
+/// Collects [`supergroups`] into a vector (for inspection and the static
+/// verifier; the execution path iterates without allocating).
+pub fn supergroup_plan(program: &FusedProgram) -> Vec<Supergroup> {
+    supergroups(program).collect()
 }
 
 /// Complex amplitudes per tile row of the segment-fused panel sweeps:
@@ -629,6 +728,12 @@ fn chain_1q_tile(
 fn run_pair_pass(re: &mut [f64], im: &mut [f64], b: usize, q: usize, passes: &[Pass1q]) {
     let pair = (1usize << q) * b;
     let total = re.len();
+    debug_assert_eq!(total, im.len(), "re/im planes differ in length");
+    debug_assert!(
+        b > 0 && total.is_multiple_of(2 * pair),
+        "pair stride for qubit {q} does not tile the {total}-element panel \
+         (qubit out of range or corrupt panel shape)"
+    );
     let tile = b * (TILE_ELEMS / b).max(1);
     if pair >= tile {
         // Wide pair runs: tile within each pair region, whole chain per
@@ -865,6 +970,16 @@ fn quartet_pair<'q>(
 /// Splits four disjoint equal-length strips out of one plane, given
 /// strictly increasing element starts.
 fn strips4(plane: &mut [f64], starts: [usize; 4], len: usize) -> [&mut [f64]; 4] {
+    debug_assert!(
+        len > 0
+            && starts[0] + len <= starts[1]
+            && starts[1] + len <= starts[2]
+            && starts[2] + len <= starts[3]
+            && starts[3] + len <= plane.len(),
+        "quartet strips at {starts:?} (len {len}) overlap or escape the \
+         {}-element plane",
+        plane.len()
+    );
     let (p01, p23) = plane.split_at_mut(starts[2]);
     let (p0, p1) = p01.split_at_mut(starts[1]);
     let (p2, p3) = p23.split_at_mut(starts[3] - starts[2]);
@@ -916,6 +1031,16 @@ fn run_quartet_pass(
     let (ms, mb) = if mu < mv { (mu, mv) } else { (mv, mu) };
     let v_is_small = mv < mu;
     let total = re.len();
+    debug_assert_eq!(total, im.len(), "re/im planes differ in length");
+    debug_assert_ne!(
+        mu, mv,
+        "supergroup wires ({u}, {v}) alias the same panel stride"
+    );
+    debug_assert!(
+        b > 0 && total.is_multiple_of(2 * mb) && mb.is_multiple_of(2 * ms),
+        "wire strides for ({u}, {v}) do not tile the {total}-element panel \
+         (wire out of range or corrupt panel shape)"
+    );
     let tile = b * (TILE_ELEMS / b).max(1);
     if ms >= tile {
         let mut bh = 0usize;
@@ -1047,6 +1172,11 @@ impl TrajectoryPanel {
     /// Panics if `col` is out of range.
     pub fn column(&self, col: usize) -> Vec<Complex64> {
         assert!(col < self.batch, "column {col} out of range");
+        debug_assert_eq!(
+            self.re.len(),
+            (1usize << self.n_qubits) * self.batch,
+            "panel plane length disagrees with 2^n x batch"
+        );
         (0..1usize << self.n_qubits)
             .map(|i| Complex64::new(self.re[i * self.batch + col], self.im[i * self.batch + col]))
             .collect()
@@ -1091,40 +1221,9 @@ impl TrajectoryPanel {
         let mut rows = std::mem::take(&mut self.branch_rows);
         let mut any = std::mem::take(&mut self.branch_any);
         let segs = program.segments();
-        let support_qubits = |seg: &Segment| -> (usize, Option<usize>) {
-            match seg.support() {
-                Support::One(q) => (q, None),
-                Support::Two(a, bq) => (a, Some(bq)),
-            }
-        };
-        let mut start = 0usize;
-        while start < segs.len() {
-            // Greedily extend the supergroup while the union support stays
-            // within two qubits (first-seen order fixes the group's (u, v)
-            // wire basis).
-            let (u, mut v) = support_qubits(&segs[start]);
-            let mut end = start + 1;
-            while end < segs.len() {
-                let (a, bq) = support_qubits(&segs[end]);
-                let mut nv = v;
-                let mut fits = true;
-                for q in [Some(a), bq].into_iter().flatten() {
-                    if q == u || nv == Some(q) {
-                        continue;
-                    }
-                    if nv.is_none() {
-                        nv = Some(q);
-                    } else {
-                        fits = false;
-                        break;
-                    }
-                }
-                if !fits {
-                    break;
-                }
-                v = nv;
-                end += 1;
-            }
+        for group in supergroups(program) {
+            let (u, v) = (group.u, group.v);
+            let group_segs = &segs[group.segments];
             // Pre-sample the group's jump branches: branch `k` of
             // stochastic atom `j` for column `c` is a pure function of the
             // column's pre-drawn uniform, so sampling them up front (one
@@ -1132,7 +1231,7 @@ impl TrajectoryPanel {
             // engine's draw sequence.
             rows.clear();
             any.clear();
-            for seg in &segs[start..end] {
+            for seg in group_segs {
                 for atom in program.atoms_in(seg) {
                     let lambda = match *atom {
                         FusedAtom::Depol1 { lambda } => lambda,
@@ -1160,7 +1259,7 @@ impl TrajectoryPanel {
                     // Single-qubit group: cheaper pair tiles.
                     let mut passes: Vec<Pass1q> = Vec::new();
                     let mut jump = 0usize;
-                    for seg in &segs[start..end] {
+                    for seg in group_segs {
                         for atom in program.atoms_in(seg) {
                             match *atom {
                                 FusedAtom::Unitary1 { m2, class } => {
@@ -1183,7 +1282,7 @@ impl TrajectoryPanel {
                 Some(v) => {
                     let mut passes: Vec<Pass2q> = Vec::new();
                     let mut jump = 0usize;
-                    for seg in &segs[start..end] {
+                    for seg in group_segs {
                         // Orientation of this segment inside the group's
                         // (u, v) wire basis.
                         let flip = match seg.support() {
@@ -1234,8 +1333,14 @@ impl TrajectoryPanel {
                     run_quartet_pass(&mut self.re, &mut self.im, b, u, v, &passes);
                 }
             }
-            start = end;
         }
+        // Uniform-consumption invariant: the panel pass must drain exactly
+        // the per-trajectory draw budget, or column replay is not
+        // bit-identical to the workspace engine.
+        debug_assert_eq!(
+            s, n_stoch,
+            "panel pass consumed {s} of {n_stoch} stochastic draws"
+        );
         self.branch_rows = rows;
         self.branch_any = any;
     }

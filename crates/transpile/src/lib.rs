@@ -18,7 +18,10 @@
 //!   structure-determined half of the pipeline (simplify + route) cached
 //!   per [`template::StructureKey`] and re-bound at fresh angles with a
 //!   single linear expansion pass, bit-identical to a from-scratch
-//!   compile.
+//!   compile;
+//! - [`verify`]: static verification of circuits, routed physical
+//!   circuits, and templates — including the bound-instance ≡ template
+//!   structural-equality check the rebind path relies on.
 //!
 //! # Examples
 //!
@@ -36,6 +39,9 @@
 //! assert!(cheap.length() < costly.length());
 //! ```
 
+// No unsafe code belongs in this crate; the only sanctioned unsafe in the
+// workspace is quasim's (future) SIMD kernel layer.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod circuit;
@@ -43,9 +49,11 @@ pub mod expand;
 pub mod fuse;
 pub mod route;
 pub mod template;
+pub mod verify;
 
 pub use circuit::{Circuit, Op, Param};
 pub use expand::{expand, NativeCircuit, NativeOp};
 pub use fuse::{fuse_gates, fuse_native, fuse_native_compacted, fuse_ops, QubitCompaction, SimOp};
 pub use route::{route, route_identity, with_fixed_params, PhysicalCircuit};
 pub use template::{structure_key, CircuitTemplate, StructureKey};
+pub use verify::{verify_bound, verify_circuit, verify_physical, verify_template};

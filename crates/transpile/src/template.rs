@@ -74,6 +74,12 @@ impl StructureKey {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// The raw kept/dropped bytes, one per parameterised op in op order
+    /// (`1` = kept, `0` = identity-dropped); used by `crate::verify`.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.0
+    }
 }
 
 /// Computes the [`StructureKey`] of `circuit` at `theta`.
@@ -135,7 +141,17 @@ impl CircuitTemplate {
         let key = structure_key(circuit, theta, tol);
         let simplified = circuit.simplified(theta, tol);
         let phys = route(&simplified, topology, None);
-        CircuitTemplate { key, phys }
+        let template = CircuitTemplate { key, phys };
+        // Compile-boundary invariant check: every template leaving the
+        // structural half of the pipeline is internally consistent and
+        // on-device (debug/test builds only; release sweeps call
+        // `crate::verify::verify_template` explicitly).
+        debug_assert!(
+            crate::verify::verify_template(&template, topology).is_ok(),
+            "compile produced an invalid template: {}",
+            crate::verify::verify_template(&template, topology).unwrap_err()
+        );
+        template
     }
 
     /// The structure key this template was compiled for.

@@ -1,0 +1,299 @@
+//! Static verification of the transpile-side IR: logical circuits, routed
+//! physical circuits, and compile-once/rebind-many templates.
+//!
+//! The companion of `quasim::verify` for the front half of the pipeline.
+//! Where the fused-program verifier guards what the kernels execute, this
+//! module guards what the compiler caches: a [`Circuit`] whose ops are
+//! well-formed, a [`PhysicalCircuit`] whose layouts are injective and whose
+//! two-qubit ops all sit on coupling edges, and — the check the rebind
+//! path lives on — a [`CircuitTemplate`] that is *structurally equal* to
+//! the bound instance it is about to produce ([`verify_bound`]): binding a
+//! template at a parameter vector whose [`StructureKey`] differs from the
+//! template's silently yields a circuit the from-scratch pipeline would
+//! never build.
+//!
+//! All checks are static (no routing, no expansion, no simulation) and are
+//! wired as `debug_assert!`s at [`CircuitTemplate::compile`] and the
+//! executor's rebind boundary, plus standalone APIs for release-mode
+//! sweeps.
+
+use crate::circuit::{Circuit, Param};
+use crate::route::PhysicalCircuit;
+use crate::template::{structure_key, CircuitTemplate, StructureKey};
+use calibration::topology::Topology;
+
+/// A violated transpile-IR invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// An op's operand count disagrees with its gate kind's arity.
+    OperandCount {
+        /// Op index.
+        op: usize,
+    },
+    /// An op references a qubit outside the register.
+    QubitOutOfRange {
+        /// Op index.
+        op: usize,
+        /// The out-of-range qubit.
+        qubit: usize,
+    },
+    /// A two-qubit op names the same qubit twice.
+    DuplicateOperands {
+        /// Op index.
+        op: usize,
+    },
+    /// Parameter presence disagrees with the gate kind (fixed gates carry
+    /// no angle, parameterised gates must).
+    ParamPresence {
+        /// Op index.
+        op: usize,
+    },
+    /// A trainable parameter index is outside the declared parameter count.
+    ParamIndex {
+        /// Op index.
+        op: usize,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A layout is not an injective embedding of the logical register into
+    /// the physical one.
+    LayoutNotInjective {
+        /// Which layout (`"initial"` or `"final"`).
+        which: &'static str,
+    },
+    /// A two-qubit op sits on a pair that is not a coupling edge.
+    TopologyViolation,
+    /// A structure key byte is neither 0 (dropped) nor 1 (kept).
+    KeyByte {
+        /// Position in the key.
+        position: usize,
+    },
+    /// A template's kept-op count disagrees with the parameterised ops of
+    /// its routed circuit.
+    KeyKeptMismatch {
+        /// Ops the key claims survive simplification.
+        kept: usize,
+        /// Parameterised ops actually present in the routed circuit.
+        routed: usize,
+    },
+    /// A bound instance's structure key differs from its template's — the
+    /// rebind would not be bit-identical to a from-scratch compile.
+    KeyMismatch,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            VerifyError::OperandCount { op } => {
+                write!(f, "op {op} operand count disagrees with its gate arity")
+            }
+            VerifyError::QubitOutOfRange { op, qubit } => {
+                write!(f, "op {op} references out-of-range qubit {qubit}")
+            }
+            VerifyError::DuplicateOperands { op } => {
+                write!(f, "op {op} names the same qubit twice")
+            }
+            VerifyError::ParamPresence { op } => {
+                write!(f, "op {op} parameter presence disagrees with its gate kind")
+            }
+            VerifyError::ParamIndex { op, index } => {
+                write!(f, "op {op} references out-of-range parameter {index}")
+            }
+            VerifyError::LayoutNotInjective { which } => {
+                write!(f, "{which} layout is not an injective embedding")
+            }
+            VerifyError::TopologyViolation => {
+                write!(f, "a two-qubit op sits on a non-coupled physical pair")
+            }
+            VerifyError::KeyByte { position } => {
+                write!(f, "structure key byte {position} is neither 0 nor 1")
+            }
+            VerifyError::KeyKeptMismatch { kept, routed } => write!(
+                f,
+                "structure key keeps {kept} ops but the routed circuit has {routed} \
+                 parameterised ops"
+            ),
+            VerifyError::KeyMismatch => write!(
+                f,
+                "bound instance's structure key differs from its template's"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks one op list against a register and parameter count (shared
+/// between the logical and physical circuit verifiers; SWAPs inserted by
+/// routing are ordinary two-qubit ops here).
+fn verify_ops(
+    ops: &[crate::circuit::Op],
+    n_qubits: usize,
+    n_params: usize,
+) -> Result<(), VerifyError> {
+    for (oi, op) in ops.iter().enumerate() {
+        if op.qubits.len() != op.kind.arity() {
+            return Err(VerifyError::OperandCount { op: oi });
+        }
+        for &q in &op.qubits {
+            if q >= n_qubits {
+                return Err(VerifyError::QubitOutOfRange { op: oi, qubit: q });
+            }
+        }
+        if let [a, b] = op.qubits.as_slice() {
+            if a == b {
+                return Err(VerifyError::DuplicateOperands { op: oi });
+            }
+        }
+        if op.param.is_some() != op.kind.is_parameterised() {
+            return Err(VerifyError::ParamPresence { op: oi });
+        }
+        if let Some(Param::Idx(i)) = op.param {
+            if i >= n_params {
+                return Err(VerifyError::ParamIndex { op: oi, index: i });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Statically checks a logical circuit: operand arity, qubit bounds,
+/// operand distinctness, parameter presence, and parameter index bounds.
+///
+/// [`Circuit::push`] asserts the same properties on construction; the
+/// verifier re-derives them so externally deserialised or mutated circuits
+/// get the same guarantee without a rebuild.
+pub fn verify_circuit(circuit: &Circuit) -> Result<(), VerifyError> {
+    verify_ops(circuit.ops(), circuit.n_qubits(), circuit.n_params())
+}
+
+/// Statically checks a routed physical circuit against its device: op
+/// well-formedness on the physical register, injective initial/final
+/// layouts, and every two-qubit op on a coupling edge.
+pub fn verify_physical(phys: &PhysicalCircuit, topology: &Topology) -> Result<(), VerifyError> {
+    verify_ops(phys.ops(), phys.n_physical(), phys.n_params())?;
+    for (which, layout) in [
+        ("initial", phys.initial_layout()),
+        ("final", phys.final_layout()),
+    ] {
+        let mut seen = vec![false; phys.n_physical()];
+        for &p in layout {
+            if p >= seen.len() || seen[p] {
+                return Err(VerifyError::LayoutNotInjective { which });
+            }
+            seen[p] = true;
+        }
+    }
+    if !phys.respects_topology(topology) {
+        return Err(VerifyError::TopologyViolation);
+    }
+    Ok(())
+}
+
+/// Statically checks a compiled template: a well-formed routed circuit on
+/// `topology`, key bytes in `{0, 1}`, and the key's kept-op count equal to
+/// the routed circuit's parameterised-op count (each kept op survives
+/// simplification into exactly one routed op; dropped ops must not
+/// reappear).
+pub fn verify_template(template: &CircuitTemplate, topology: &Topology) -> Result<(), VerifyError> {
+    verify_physical(template.physical(), topology)?;
+    verify_key(template.key())?;
+    let kept = template.key().bytes().iter().filter(|&&b| b == 1).count();
+    let routed = template
+        .physical()
+        .ops()
+        .iter()
+        .filter(|op| op.param.is_some())
+        .count();
+    if kept != routed {
+        return Err(VerifyError::KeyKeptMismatch { kept, routed });
+    }
+    Ok(())
+}
+
+/// Checks a structure key's bytes are the kept/dropped alphabet.
+fn verify_key(key: &StructureKey) -> Result<(), VerifyError> {
+    if let Some(position) = key.bytes().iter().position(|&b| b > 1) {
+        return Err(VerifyError::KeyByte { position });
+    }
+    Ok(())
+}
+
+/// The rebind-path check: binding `template` at `theta` is structurally
+/// equal to a from-scratch compile of `circuit` if and only if the keys
+/// match. This is the bound-instance ≡ template equality the executor's
+/// program cache relies on; `tol` is the identity-angle tolerance the
+/// pipeline compiled with.
+pub fn verify_bound(
+    template: &CircuitTemplate,
+    circuit: &Circuit,
+    theta: &[f64],
+    tol: f64,
+) -> Result<(), VerifyError> {
+    if structure_key(circuit, theta, tol) != *template.key() {
+        return Err(VerifyError::KeyMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Param;
+    use crate::expand::ANGLE_TOL;
+    use crate::route::route;
+
+    fn ladder() -> Circuit {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.ry(q, Param::Idx(q));
+        }
+        for q in 0..3 {
+            c.cry(q, q + 1, Param::Idx(4 + q));
+        }
+        c.cx(3, 0);
+        c
+    }
+
+    #[test]
+    fn accepts_pipeline_circuits_and_templates() {
+        let c = ladder();
+        assert_eq!(verify_circuit(&c), Ok(()));
+        let topo = Topology::ibm_belem();
+        let theta = [0.3, 0.9, 1.4, 2.0, 0.7, 1.1, 2.8];
+        let phys = route(&c.simplified(&theta, ANGLE_TOL), &topo, None);
+        assert_eq!(verify_physical(&phys, &topo), Ok(()));
+        let template = CircuitTemplate::compile(&c, &topo, &theta, ANGLE_TOL);
+        assert_eq!(verify_template(&template, &topo), Ok(()));
+        assert_eq!(verify_bound(&template, &c, &theta, ANGLE_TOL), Ok(()));
+    }
+
+    #[test]
+    fn rejects_rebind_across_structures() {
+        let c = ladder();
+        let topo = Topology::ibm_belem();
+        let generic = [0.3; 7];
+        let template = CircuitTemplate::compile(&c, &topo, &generic, ANGLE_TOL);
+        // Compressing a parameter to an identity angle changes the
+        // structure: the template must not be re-bound at it.
+        let compressed = [0.0, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3];
+        assert_eq!(
+            verify_bound(&template, &c, &compressed, ANGLE_TOL),
+            Err(VerifyError::KeyMismatch)
+        );
+    }
+
+    #[test]
+    fn rejects_off_device_physical_circuits() {
+        let c = ladder();
+        // `cx(3, 0)` routes onto the ring's wrap-around edge, which a
+        // 4-qubit line does not have.
+        let ring = Topology::ring(4);
+        let phys = route(&c, &ring, None);
+        assert_eq!(verify_physical(&phys, &ring), Ok(()));
+        assert_eq!(
+            verify_physical(&phys, &Topology::line(4)),
+            Err(VerifyError::TopologyViolation)
+        );
+    }
+}

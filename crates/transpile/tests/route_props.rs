@@ -131,7 +131,7 @@ proptest! {
                 // A SWAP exchanges whatever logical qubits live on its
                 // physical operands (either side may be unoccupied).
                 let (pa, pb) = (op.qubits[0], op.qubits[1]);
-                for slot in layout.iter_mut() {
+                for slot in &mut layout {
                     if *slot == pa {
                         *slot = pb;
                     } else if *slot == pb {

@@ -106,7 +106,7 @@ fn main() {
         m(&nat_series),
         m(&qucad_series)
     );
-    let worst = nat_series.iter().cloned().fold(1.0_f64, f64::min);
+    let worst = nat_series.iter().copied().fold(1.0_f64, f64::min);
     println!(
         "worst day of the day-1 model: {worst:.3} — the paper's Observation 1 \
          (a noise-aware model can collapse when the noise drifts)."

@@ -84,7 +84,7 @@ fn main() {
                 println!(
                     "  day {:>3}: HIT entry {index} at distance {distance:.4}",
                     snap.day
-                )
+                );
             }
             MatchOutcome::Miss { nearest_distance } => println!(
                 "  day {:>3}: MISS (nearest {nearest_distance:.4} > th_w) — would compress",

@@ -84,6 +84,7 @@ fn render_fixture() -> String {
 fn table1_quick_density_zscores_are_bit_exact() {
     let rendered = render_fixture();
     let path = golden_path();
+    // qucad-lint: allow(env-read) — audited entry point: golden-file regeneration switch
     if std::env::var("QUCAD_GOLDEN_REGEN").is_ok_and(|v| !v.trim().is_empty() && v != "0") {
         std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
         std::fs::write(&path, &rendered).expect("write golden fixture");

@@ -88,7 +88,7 @@ fn shot_noise_perturbs_but_preserves_scale() {
             *m += v;
         }
     }
-    for m in mean.iter_mut() {
+    for m in &mut mean {
         *m /= n as f64;
     }
     for (a, b) in mean.iter().zip(z_exact.iter()) {
