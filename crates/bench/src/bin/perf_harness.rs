@@ -31,8 +31,8 @@ use calibration::snapshot::CalibrationSnapshot;
 use calibration::topology::Topology;
 use qnn::model::VqcModel;
 use quasim::trajectory::{
-    auto_panel_width, estimate_prob_one, estimate_prob_one_panel, TrajectoryPanel,
-    TrajectoryWorkspace,
+    auto_panel_width, auto_panel_width_is_clamped, estimate_prob_one, estimate_prob_one_panel,
+    TrajectoryPanel, TrajectoryWorkspace,
 };
 use transpile::expand::ANGLE_TOL;
 use transpile::route::route;
@@ -220,6 +220,13 @@ fn main() {
         let (measured, program) = exec.compile_program(&features, &weights, &snap);
         let n_traj = 32u32;
         let width = auto_panel_width(program.n_qubits());
+        if auto_panel_width_is_clamped(program.n_qubits()) {
+            eprintln!(
+                "[perf] note: panel width clamped to {width} columns at {} qubits — the \
+                 cache budget would prefer fewer, but SIMD lane fill keeps a floor",
+                program.n_qubits()
+            );
+        }
 
         let mut ws = TrajectoryWorkspace::new();
         let per_traj = report.time("trajectory_pertraj_guadalupe_32t", false, || {

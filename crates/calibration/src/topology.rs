@@ -117,7 +117,8 @@ impl Topology {
     ///
     /// Panics if `n == 0`.
     pub fn line(n: usize) -> Self {
-        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        assert!(n > 0, "line topology needs at least one qubit");
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
         Topology::new(format!("line{n}"), n, &edges)
     }
 
@@ -303,6 +304,29 @@ mod tests {
     fn duplicate_edges_are_canonicalised() {
         let t = Topology::new("t", 3, &[(0, 1), (1, 0), (1, 2)]);
         assert_eq!(t.n_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn empty_line_rejected() {
+        let _ = Topology::line(0);
+    }
+
+    #[test]
+    fn single_qubit_line_is_edgeless() {
+        let l = Topology::line(1);
+        assert_eq!(l.n_qubits(), 1);
+        assert_eq!(l.n_edges(), 0);
+        assert_eq!(l.distance(0, 0), 0);
+        assert!(l.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn smallest_ring_wraps_around() {
+        let r = Topology::ring(3);
+        assert_eq!(r.n_edges(), 3);
+        assert!(r.is_edge(2, 0));
+        assert_eq!(r.distance(0, 2), 1);
     }
 
     #[test]

@@ -46,7 +46,10 @@
 //!   retained as the differential-testing oracle. Capped at
 //!   [`quasim::density::MAX_DENSITY_QUBITS`] active qubits.
 //! - [`SimBackend::Trajectory`]: Monte-Carlo wavefunction simulation
-//!   ([`quasim::trajectory`]). The *same* fused program is unraveled into
+//!   ([`quasim::trajectory`]). The same fused pipeline — additionally
+//!   precomposed at bind time ([`transpile::fuse::fuse_native_trajectory`]:
+//!   runs of consecutive same-support unitaries collapse into single
+//!   matrices) — is unraveled into
 //!   [`NoiseOptions::trajectories`] stochastic pure-state trajectories,
 //!   executed in batched panels on a per-executor reusable
 //!   [`TrajectoryPanel`] (each fused op applied once across the whole
@@ -69,7 +72,7 @@ use quasim::trajectory::{
 };
 use std::collections::HashMap;
 use transpile::expand::{expand, NativeCircuit, NativeOp, ANGLE_TOL};
-use transpile::fuse::{fuse_native_compacted, QubitCompaction};
+use transpile::fuse::{fuse_native_compacted, fuse_native_trajectory, QubitCompaction};
 use transpile::route::{route, PhysicalCircuit};
 use transpile::template::{structure_key, CircuitTemplate, StructureKey};
 
@@ -574,8 +577,18 @@ impl NoisyExecutor {
         );
         let full = self.model.full_params(features, weights);
         let (native, compaction) = self.native_at(&full);
-        let program =
-            fuse_native_compacted(&native, &compaction, |op| self.op_lambda(op, snapshot));
+        // The trajectory backend additionally precomposes runs of
+        // consecutive same-support unitaries at bind time (one matrix per
+        // pass); the density path keeps the plain fusion so its pinned
+        // fused-vs-unfused bit-identity is untouched.
+        let program = match self.options.backend {
+            SimBackend::Density => {
+                fuse_native_compacted(&native, &compaction, |op| self.op_lambda(op, snapshot))
+            }
+            SimBackend::Trajectory => {
+                fuse_native_trajectory(&native, &compaction, |op| self.op_lambda(op, snapshot))
+            }
+        };
         (native, compaction, program)
     }
 
@@ -1167,6 +1180,27 @@ mod tests {
             }
         }
         assert_eq!(exec.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn trajectory_compile_precomposes_density_does_not() {
+        let (model, topo, density_exec) = setup();
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let weights = model.init_weights(5);
+        let features = [0.4, 0.9, 1.3, 0.2];
+        let (_, plain) = density_exec.compile_program(&features, &weights, &snap);
+        assert!(!plain.is_precomposed());
+        let traj_exec = NoisyExecutor::new(
+            &model,
+            &topo,
+            NoiseOptions::default().with_backend(SimBackend::Trajectory),
+        );
+        let (_, pre) = traj_exec.compile_program(&features, &weights, &snap);
+        // The trajectory arm is exactly the density program post-composed
+        // (whether or not this circuit offers a composable run), and the
+        // stochastic stream is untouched either way.
+        assert_eq!(pre, plain.precompose());
+        assert_eq!(pre.n_stochastic_atoms(), plain.n_stochastic_atoms());
     }
 
     #[test]

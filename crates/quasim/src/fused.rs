@@ -161,6 +161,13 @@ pub struct FusedProgram {
     pub(crate) atoms: Vec<FusedAtom>,
     pub(crate) m2s: Vec<M2>,
     pub(crate) m4s: Vec<M4>,
+    /// Provenance of precomposed `m2s` entries: `(table index, factors in
+    /// application order)`. Empty unless [`FusedProgram::precompose`] built
+    /// this program; lets [`crate::verify`] re-derive each product.
+    pub(crate) composed2: Vec<(u32, Vec<M2>)>,
+    /// Provenance of precomposed `m4s` entries (factors normalised to the
+    /// segment's `(A, B)` wire order before composition).
+    pub(crate) composed4: Vec<(u32, Vec<M4>)>,
 }
 
 impl FusedProgram {
@@ -211,6 +218,24 @@ impl FusedProgram {
         &self.atoms
     }
 
+    /// Provenance of precomposed 2×2 table entries: for each `(idx,
+    /// factors)` pair, `m2s[idx]` is exactly `compose2(&factors)`.
+    pub fn composed2(&self) -> &[(u32, Vec<M2>)] {
+        &self.composed2
+    }
+
+    /// Provenance of precomposed 4×4 table entries: for each `(idx,
+    /// factors)` pair, `m4s[idx]` is exactly `compose4(&factors)`.
+    pub fn composed4(&self) -> &[(u32, Vec<M4>)] {
+        &self.composed4
+    }
+
+    /// Whether this program was produced by [`FusedProgram::precompose`]
+    /// and actually collapsed at least one unitary run.
+    pub fn is_precomposed(&self) -> bool {
+        !self.composed2.is_empty() || !self.composed4.is_empty()
+    }
+
     /// Whether the program contains no stochastic (noise-channel) atom, so
     /// any unraveling of it is exact in a single pass.
     pub fn is_deterministic(&self) -> bool {
@@ -247,6 +272,197 @@ impl FusedProgram {
             }
         }
     }
+
+    /// Returns a copy of the program with every run of two or more
+    /// consecutive unitary atoms collapsed into a single precomposed
+    /// matrix, so a trajectory pass applies one matrix where it used to
+    /// apply several.
+    ///
+    /// Swapped 4×4 factors are first reoriented ([`reorient4`]) to the
+    /// segment's `(A, B)` wire order, so the composed atom always carries
+    /// `swapped = false`. Stochastic atoms and CNOTs are never touched or
+    /// reordered, which keeps the per-trajectory RNG stream aligned with
+    /// the source program. Factor provenance is recorded in
+    /// [`FusedProgram::composed2`] / [`FusedProgram::composed4`] so the
+    /// static verifier can re-derive every product bit-exactly.
+    ///
+    /// Composition changes the floating-point rounding of the affected
+    /// amplitudes, so the result is numerically equivalent but **not**
+    /// bit-identical to the source program — the density path (whose
+    /// fused-vs-unfused bit-identity is pinned) never precomposes; the
+    /// trajectory engines both run the same precomposed program, so their
+    /// mutual bit-identity contract is unaffected.
+    pub fn precompose(&self) -> FusedProgram {
+        let mut segments = Vec::with_capacity(self.segments.len());
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        let mut m2s = Vec::new();
+        let mut m4s = Vec::new();
+        let mut composed2 = Vec::new();
+        let mut composed4 = Vec::new();
+        for seg in &self.segments {
+            let start = atoms.len();
+            let seg_atoms = self.atoms_in(seg);
+            let mut i = 0;
+            while i < seg_atoms.len() {
+                match seg_atoms[i] {
+                    FusedAtom::Unitary1 { m2, .. } => {
+                        let mut factors = vec![self.m2s[m2 as usize]];
+                        let mut j = i + 1;
+                        while let Some(&FusedAtom::Unitary1 { m2, .. }) = seg_atoms.get(j) {
+                            factors.push(self.m2s[m2 as usize]);
+                            j += 1;
+                        }
+                        let idx = m2s.len() as u32;
+                        let m = if factors.len() > 1 {
+                            let product = compose2(&factors);
+                            composed2.push((idx, factors));
+                            product
+                        } else {
+                            factors[0]
+                        };
+                        m2s.push(m);
+                        atoms.push(FusedAtom::Unitary1 {
+                            m2: idx,
+                            class: classify2(&m),
+                        });
+                        i = j;
+                    }
+                    FusedAtom::Unitary2 { m4, swapped } => {
+                        let mut run = vec![(m4, swapped)];
+                        let mut j = i + 1;
+                        while let Some(&FusedAtom::Unitary2 { m4, swapped }) = seg_atoms.get(j) {
+                            run.push((m4, swapped));
+                            j += 1;
+                        }
+                        let idx = m4s.len() as u32;
+                        if run.len() > 1 {
+                            let factors: Vec<M4> = run
+                                .iter()
+                                .map(|&(m, sw)| {
+                                    let mat = self.m4s[m as usize];
+                                    if sw {
+                                        reorient4(&mat)
+                                    } else {
+                                        mat
+                                    }
+                                })
+                                .collect();
+                            m4s.push(compose4(&factors));
+                            composed4.push((idx, factors));
+                            atoms.push(FusedAtom::Unitary2 {
+                                m4: idx,
+                                swapped: false,
+                            });
+                        } else {
+                            m4s.push(self.m4s[run[0].0 as usize]);
+                            atoms.push(FusedAtom::Unitary2 {
+                                m4: idx,
+                                swapped: run[0].1,
+                            });
+                        }
+                        i = j;
+                    }
+                    atom => {
+                        atoms.push(atom);
+                        i += 1;
+                    }
+                }
+            }
+            segments.push(Segment {
+                support: seg.support,
+                atoms: start..atoms.len(),
+            });
+        }
+        let program = FusedProgram {
+            n_qubits: self.n_qubits,
+            segments,
+            atoms,
+            m2s,
+            m4s,
+            composed2,
+            composed4,
+        };
+        debug_assert!(
+            crate::verify::verify_program(&program).is_ok(),
+            "precompose produced an invalid program: {}",
+            crate::verify::verify_program(&program).unwrap_err()
+        );
+        program
+    }
+}
+
+/// Row-major product `lhs · rhs` of two 2×2 complex matrices, each entry
+/// accumulated in ascending `k` order — the verifier re-derives composed
+/// products with this exact expression, so the order is part of the
+/// contract.
+pub fn matmul2(lhs: &M2, rhs: &M2) -> M2 {
+    let mut out = [Complex64::ZERO; 4];
+    for r in 0..2 {
+        for c in 0..2 {
+            let mut acc = Complex64::ZERO;
+            for k in 0..2 {
+                acc += lhs[r * 2 + k] * rhs[k * 2 + c];
+            }
+            out[r * 2 + c] = acc;
+        }
+    }
+    out
+}
+
+/// Row-major product `lhs · rhs` of two 4×4 complex matrices (same
+/// accumulation-order contract as [`matmul2`]).
+pub fn matmul4(lhs: &M4, rhs: &M4) -> M4 {
+    let mut out = [Complex64::ZERO; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            let mut acc = Complex64::ZERO;
+            for k in 0..4 {
+                acc += lhs[r * 4 + k] * rhs[k * 4 + c];
+            }
+            out[r * 4 + c] = acc;
+        }
+    }
+    out
+}
+
+/// Composes 2×2 factors given in **application order** (`factors[0]`
+/// applied first), producing `f_{n-1} · … · f_1 · f_0` by left-multiplying
+/// one factor at a time.
+///
+/// # Panics
+///
+/// Panics if `factors` is empty.
+pub fn compose2(factors: &[M2]) -> M2 {
+    factors
+        .iter()
+        .skip(1)
+        .fold(factors[0], |acc, f| matmul2(f, &acc))
+}
+
+/// Composes 4×4 factors given in application order (see [`compose2`]).
+///
+/// # Panics
+///
+/// Panics if `factors` is empty.
+pub fn compose4(factors: &[M4]) -> M4 {
+    factors
+        .iter()
+        .skip(1)
+        .fold(factors[0], |acc, f| matmul4(f, &acc))
+}
+
+/// Re-expresses a 4×4 matrix given in `(B, A)` qubit order in `(A, B)`
+/// order by conjugating with the two-qubit SWAP permutation: entry
+/// `(r, c)` moves to `(P[r], P[c])` with `P = [0, 2, 1, 3]`.
+pub fn reorient4(m: &M4) -> M4 {
+    const P: [usize; 4] = [0, 2, 1, 3];
+    let mut out = [Complex64::ZERO; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[r * 4 + c] = m[P[r] * 4 + P[c]];
+        }
+    }
+    out
 }
 
 /// Incremental builder performing the greedy fusion grouping.
@@ -423,6 +639,8 @@ impl ProgramBuilder {
             atoms: self.atoms,
             m2s: self.m2s,
             m4s: self.m4s,
+            composed2: Vec::new(),
+            composed4: Vec::new(),
         };
         // Compile-boundary invariant check: every program leaving the
         // builder satisfies the full IR contract (debug/test builds only;
@@ -674,5 +892,100 @@ mod tests {
     fn builder_rejects_bad_qubit() {
         let mut b = ProgramBuilder::new(2);
         b.unitary_1q(5, [Complex64::ONE; 4]);
+    }
+
+    fn assert_m_bits_eq(a: &[Complex64], b: &[Complex64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "matrix entries differ: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_and_compose_follow_application_order() {
+        let h = GateKind::H.matrix(0.0).to_2x2().unwrap();
+        let rz = GateKind::Rz.matrix(0.7).to_2x2().unwrap();
+        // "Apply H, then Rz" composes to the product Rz · H.
+        assert_m_bits_eq(&compose2(&[h, rz]), &matmul2(&rz, &h));
+        assert_m_bits_eq(&compose2(&[h]), &h);
+        let crz = GateKind::Crz.matrix(0.9).to_4x4().unwrap();
+        let cry = GateKind::Cry.matrix(0.4).to_4x4().unwrap();
+        assert_m_bits_eq(&compose4(&[crz, cry]), &matmul4(&cry, &crz));
+        // Reorientation is an involutive permutation of the entries.
+        assert_m_bits_eq(&reorient4(&reorient4(&crz)), &crz);
+    }
+
+    #[test]
+    fn precompose_collapses_runs_and_records_provenance() {
+        let mut b = ProgramBuilder::new(2);
+        b.unitary_1q(0, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.unitary_1q(0, GateKind::Rz.matrix(0.7).to_2x2().unwrap());
+        b.unitary_1q(0, GateKind::Ry.matrix(-0.3).to_2x2().unwrap());
+        b.depolarize_1q(0, 0.02);
+        b.unitary_1q(0, GateKind::X.matrix(0.0).to_2x2().unwrap());
+        b.unitary_2q(0, 1, GateKind::Crz.matrix(0.9).to_4x4().unwrap());
+        b.unitary_2q(1, 0, GateKind::Cry.matrix(0.4).to_4x4().unwrap());
+        b.depolarize_2q(0.05, 0, 1);
+        let p = b.finish();
+        assert!(!p.is_precomposed());
+
+        let pc = p.precompose();
+        assert!(pc.is_precomposed());
+        assert_eq!(pc.segments().len(), p.segments().len());
+        // q0 run of 3 → 1 composed atom; lone X and the channels survive.
+        assert_eq!(pc.n_atoms(), 5);
+        assert_eq!(pc.n_stochastic_atoms(), p.n_stochastic_atoms());
+        assert_eq!(pc.composed2().len(), 1);
+        assert_eq!(pc.composed2()[0].1.len(), 3);
+        assert_eq!(pc.composed4().len(), 1);
+        assert_eq!(pc.composed4()[0].1.len(), 2);
+        // Products are re-derivable bit-exactly from the recorded factors.
+        let (idx2, f2) = &pc.composed2()[0];
+        assert_m_bits_eq(pc.m2(*idx2), &compose2(f2));
+        let (idx4, f4) = &pc.composed4()[0];
+        assert_m_bits_eq(pc.m4(*idx4), &compose4(f4));
+        // The swapped factor was reoriented, so the composed atom is
+        // expressed in the segment's own (A, B) order.
+        let composed_atom = pc
+            .atoms()
+            .iter()
+            .find(|a| matches!(a, FusedAtom::Unitary2 { .. }))
+            .unwrap();
+        assert!(matches!(
+            composed_atom,
+            FusedAtom::Unitary2 { swapped: false, .. }
+        ));
+        assert!(crate::verify::verify_program(&pc).is_ok());
+    }
+
+    #[test]
+    fn precomposed_program_is_numerically_equivalent() {
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.unitary_1q(0, GateKind::Rz.matrix(0.7).to_2x2().unwrap());
+        b.cx(0, 1);
+        b.unitary_2q(0, 1, GateKind::Crz.matrix(0.9).to_4x4().unwrap());
+        b.unitary_2q(1, 0, GateKind::Cry.matrix(0.4).to_4x4().unwrap());
+        b.depolarize_2q(0.05, 0, 1);
+        b.unitary_1q(2, GateKind::Ry.matrix(0.8).to_2x2().unwrap());
+        b.unitary_1q(2, GateKind::Rz.matrix(-0.2).to_2x2().unwrap());
+        let p = b.finish();
+        let pc = p.precompose();
+
+        let mut plain = DensityMatrix::zero_state(3);
+        plain.apply_fused(&p);
+        let mut pre = DensityMatrix::zero_state(3);
+        pre.apply_fused(&pc);
+        for i in 0..plain.dim() {
+            for j in 0..plain.dim() {
+                let (x, y) = (plain.get(i, j), pre.get(i, j));
+                assert!(
+                    (x.re - y.re).abs() < 1e-12 && (x.im - y.im).abs() < 1e-12,
+                    "ρ[{i},{j}] diverged: {x} vs {y}"
+                );
+            }
+        }
     }
 }

@@ -105,6 +105,23 @@ fn m2_on(amps: &mut [Complex64], q: usize, m: &M2, class: MatClass) {
         }
         return;
     }
+    if class == MatClass::Real {
+        // RY / H / Pauli family: every entry has exactly zero imaginary
+        // part (`classify2`), so the real and imaginary planes transform
+        // independently — half the arithmetic of the general path. The
+        // panel kernels' Real branch uses these same expressions, keeping
+        // the two engines bit-identical.
+        let (m00, m01, m10, m11) = (m[0].re, m[1].re, m[2].re, m[3].re);
+        for k in 0..half {
+            let i = insert_zero_bit(k, mask);
+            let j = i | mask;
+            let a0 = amps[i];
+            let a1 = amps[j];
+            amps[i] = Complex64::new(m00 * a0.re + m01 * a1.re, m00 * a0.im + m01 * a1.im);
+            amps[j] = Complex64::new(m10 * a0.re + m11 * a1.re, m10 * a0.im + m11 * a1.im);
+        }
+        return;
+    }
     let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
     for k in 0..half {
         let i = insert_zero_bit(k, mask);
@@ -457,16 +474,42 @@ impl TrajectoryWorkspace {
 /// bounding panel storage at `2^n × 4096` amplitudes.
 pub const MAX_PANEL_WIDTH: usize = 4096;
 
+/// Columns the auto width never drops below: the tiled passes touch a
+/// fixed working-set strip (a handful of `TILE_ELEMS`-sized strips per
+/// plane) regardless of the register size, and the explicit-SIMD kernels
+/// want at least one full 4-lane AVX2 vector of adjacent columns.
+pub const MIN_AUTO_PANEL_WIDTH: usize = 4;
+
 /// Default panel width for an `n_qubits` register: as wide as possible
 /// (more columns amortise pass dispatch and index arithmetic and give the
 /// kernels longer contiguous inner loops) while the whole panel stays
 /// within an ~8 MiB streaming budget, capped at 16 columns — measured on
 /// the `fig10_guadalupe` scenario and the criterion panel benches, wider
 /// panels only add last-level-cache pressure without throughput.
+///
+/// The budget is a *streaming* heuristic, not a residency requirement:
+/// the tiled passes only ever hold a cache-sized strip of the panel, so
+/// a register too wide for the budget still wants enough columns to fill
+/// the SIMD lanes and amortise dispatch. The width therefore never drops
+/// below [`MIN_AUTO_PANEL_WIDTH`] — registers of 18+ qubits stream the
+/// panel through cache either way, and starving them of columns used to
+/// silently degenerate the panel engine to per-trajectory execution
+/// (width 1 at ≥ 20 qubits). Use [`auto_panel_width_is_clamped`] to
+/// detect the clamped regime (the perf harness reports it).
 pub fn auto_panel_width(n_qubits: usize) -> usize {
     const PANEL_BYTES_BUDGET: usize = 8 << 20;
     let bytes_per_column = (2 * std::mem::size_of::<f64>()) << n_qubits;
-    (PANEL_BYTES_BUDGET / bytes_per_column).clamp(1, 16)
+    (PANEL_BYTES_BUDGET / bytes_per_column).clamp(MIN_AUTO_PANEL_WIDTH, 16)
+}
+
+/// Whether [`auto_panel_width`] was held at the [`MIN_AUTO_PANEL_WIDTH`]
+/// floor for this register (the streaming budget alone would have chosen
+/// fewer columns). Diagnostic only — the width stays a pure performance
+/// knob either way.
+pub fn auto_panel_width_is_clamped(n_qubits: usize) -> bool {
+    const PANEL_BYTES_BUDGET: usize = 8 << 20;
+    let bytes_per_column = (2 * std::mem::size_of::<f64>()) << n_qubits;
+    PANEL_BYTES_BUDGET / bytes_per_column < MIN_AUTO_PANEL_WIDTH
 }
 
 /// Resolves the panel width for a run: the `QUCAD_TRAJ_BATCH` environment
@@ -478,32 +521,101 @@ pub fn auto_panel_width(n_qubits: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `QUCAD_TRAJ_BATCH` is set to anything but a positive integer,
-/// so CI matrix typos fail loudly.
+/// Panics if `QUCAD_TRAJ_BATCH` is set to anything but a positive integer
+/// — including empty or whitespace-only values — so CI matrix typos fail
+/// loudly.
 pub fn panel_width_from_env(n_qubits: usize, n_trajectories: u32) -> usize {
     // qucad-lint: allow(env-read) — audited entry point: trajectory panel width
-    let width = match std::env::var("QUCAD_TRAJ_BATCH") {
-        Ok(v) if !v.trim().is_empty() => v
+    let raw = std::env::var("QUCAD_TRAJ_BATCH").ok();
+    panel_width_from_value(raw.as_deref(), n_qubits, n_trajectories)
+}
+
+/// Pure resolution core of [`panel_width_from_env`] (`value` is the raw
+/// variable when set): kept side-effect-free so the panic contract can be
+/// tested without racing on process-global environment state.
+fn panel_width_from_value(value: Option<&str>, n_qubits: usize, n_trajectories: u32) -> usize {
+    let width = match value {
+        // A set variable must parse — empty and whitespace-only values are
+        // typos too, not requests for the auto width.
+        Some(v) => v
             .trim()
             .parse::<usize>()
             .ok()
             .filter(|&w| w > 0)
             .unwrap_or_else(|| panic!("QUCAD_TRAJ_BATCH must be a positive integer, got '{v}'"))
             .min(MAX_PANEL_WIDTH),
-        _ => auto_panel_width(n_qubits),
+        None => auto_panel_width(n_qubits),
     };
     width.min((n_trajectories.max(1)) as usize)
 }
 
+/// Which implementation the panel's pair/quartet/octet unitary kernels
+/// dispatch to. Both arms compute the identical IEEE-754 result for every
+/// element: the AVX2 kernels (see `panel_simd`) use only 4-lane multiply,
+/// add, and subtract — never FMA — in the exact association order of the
+/// scalar expressions, so lane `j` of the vector loop performs the very
+/// operations the scalar loop performs at index `j`. The scalar kernels
+/// are therefore the bit-identity *oracle* for the SIMD ones (asserted by
+/// the `panel_props` proptests), not a fallback with looser semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Portable scalar kernels (the bit-identity oracle; always
+    /// available).
+    Scalar,
+    /// Explicit 4-lane AVX2 kernels (x86_64 hosts with AVX2 only; jumps
+    /// and strip swaps stay scalar — they are sparse column walks).
+    Avx2,
+}
+
+impl KernelMode {
+    /// Runtime-detected default: [`KernelMode::Avx2`] when the host CPU
+    /// supports it, unless `QUCAD_FORCE_SCALAR` is set to anything but
+    /// `0` or whitespace (the escape hatch CI uses to pin the scalar
+    /// oracle leg). Detected once per process.
+    pub fn detect() -> KernelMode {
+        static MODE: std::sync::OnceLock<KernelMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| {
+            // audited entry point: forces the scalar bit-identity oracle
+            // qucad-lint: allow(env-read) — kernels (QUCAD_FORCE_SCALAR)
+            let forced = std::env::var("QUCAD_FORCE_SCALAR").is_ok_and(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            });
+            if !forced && KernelMode::avx2_supported() {
+                return KernelMode::Avx2;
+            }
+            KernelMode::Scalar
+        })
+    }
+
+    /// Whether this host can run the AVX2 kernels. The result is what
+    /// makes constructing [`KernelMode::Avx2`] sound: every site that
+    /// produces the variant checks it first, so dispatch may call the
+    /// `#[target_feature(enable = "avx2")]` kernels without re-testing.
+    pub fn avx2_supported() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+}
+
 /// Union-support cap of a panel supergroup: consecutive fused segments are
 /// grouped for single-pass execution only while their combined support
-/// stays within this many qubits (the tiled kernels walk pair or quartet
-/// strips, nothing wider).
-pub const SUPERGROUP_CAP: usize = 2;
+/// stays within this many qubits (the tiled kernels walk pair, quartet, or
+/// octet strips, nothing wider).
+pub const SUPERGROUP_CAP: usize = 3;
 
 /// One panel supergroup: a maximal run of consecutive fused segments whose
 /// union support fits within [`SUPERGROUP_CAP`] qubits. `u` is the first
-/// support qubit seen (the group's wire `A`), `v` the second if any.
+/// support qubit seen (the group's wire `A`), `v` the second if any, `w`
+/// the third — a whole entangling layer plus its noise interleave and the
+/// neighbouring single-qubit decomposition segments becomes one octet
+/// pass.
 ///
 /// The plan is a pure function of the program's segment list; it is what
 /// [`TrajectoryPanel::run_stochastic`] executes one tiled panel pass per
@@ -518,6 +630,9 @@ pub struct Supergroup {
     /// The group's second support qubit (wire `B`), if the union support
     /// spans two qubits.
     pub v: Option<usize>,
+    /// The group's third support qubit (wire `C`), if the union support
+    /// spans three qubits (never set while `v` is `None`).
+    pub w: Option<usize>,
 }
 
 /// Streaming iterator over a program's supergroup plan (no allocation;
@@ -546,21 +661,25 @@ impl Iterator for Supergroups<'_> {
             return None;
         }
         // Greedily extend the supergroup while the union support stays
-        // within two qubits (first-seen order fixes the group's (u, v)
-        // wire basis).
+        // within three qubits (first-seen order fixes the group's
+        // (u, v, w) wire basis).
         let start = self.next;
         let (u, mut v) = support_qubits(&segs[start]);
+        let mut w = None;
         let mut end = start + 1;
         while end < segs.len() {
             let (a, bq) = support_qubits(&segs[end]);
             let mut nv = v;
+            let mut nw = w;
             let mut fits = true;
             for q in [Some(a), bq].into_iter().flatten() {
-                if q == u || nv == Some(q) {
+                if q == u || nv == Some(q) || nw == Some(q) {
                     continue;
                 }
                 if nv.is_none() {
                     nv = Some(q);
+                } else if nw.is_none() {
+                    nw = Some(q);
                 } else {
                     fits = false;
                     break;
@@ -570,6 +689,7 @@ impl Iterator for Supergroups<'_> {
                 break;
             }
             v = nv;
+            w = nw;
             end += 1;
         }
         self.next = end;
@@ -577,6 +697,7 @@ impl Iterator for Supergroups<'_> {
             segments: start..end,
             u,
             v,
+            w,
         })
     }
 }
@@ -634,7 +755,7 @@ enum Pass1q<'a> {
 /// trajectory while the inner loops are branch-free contiguous `f64`
 /// sweeps that vectorise.
 #[inline(always)]
-fn unitary1_inner(
+pub(crate) fn unitary1_inner(
     m: &M2,
     class: MatClass,
     r0: &mut [f64],
@@ -653,6 +774,21 @@ fn unitary1_inner(
             let (yr, yi) = (r1[j], i1[j]);
             r1[j] = yr * d1.re - yi * d1.im;
             i1[j] = yr * d1.im + yi * d1.re;
+        }
+    } else if class == MatClass::Real {
+        // RY / H / Pauli family: exactly-zero imaginary entries
+        // (`classify2`), so the imaginary products vanish structurally —
+        // drop them instead of multiplying by zero. Same expressions as
+        // the `m2_on` Real path, so every column stays bit-identical to
+        // its standalone trajectory.
+        let (m00, m01, m10, m11) = (m[0].re, m[1].re, m[2].re, m[3].re);
+        for j in 0..len {
+            let (x0r, x0i) = (r0[j], i0[j]);
+            let (x1r, x1i) = (r1[j], i1[j]);
+            r0[j] = m00 * x0r + m01 * x1r;
+            i0[j] = m00 * x0i + m01 * x1i;
+            r1[j] = m10 * x0r + m11 * x1r;
+            i1[j] = m10 * x0i + m11 * x1i;
         }
     } else {
         let (m00, m01, m10, m11) = (m[0], m[1], m[2], m[3]);
@@ -703,6 +839,7 @@ fn jump1_inner(
 /// Applies a one-qubit atom chain to one planar pair tile.
 #[inline(always)]
 fn chain_1q_tile(
+    kernel: KernelMode,
     passes: &[Pass1q],
     r0: &mut [f64],
     i0: &mut [f64],
@@ -712,7 +849,7 @@ fn chain_1q_tile(
 ) {
     for pass in passes {
         match *pass {
-            Pass1q::Unitary(m, class) => unitary1_inner(m, class, r0, i0, r1, i1),
+            Pass1q::Unitary(m, class) => apply_unitary1(kernel, m, class, r0, i0, r1, i1),
             Pass1q::Jump(row) => jump1_inner(row, b, r0, i0, r1, i1),
             Pass1q::Skip => {}
         }
@@ -725,7 +862,14 @@ fn chain_1q_tile(
 /// chain (a whole supergroup of fused segments) instead of one per atom,
 /// with contiguous inner loops (pair rows for qubit `q` are `2^q · b`
 /// element runs, no per-pair bit-twiddling).
-fn run_pair_pass(re: &mut [f64], im: &mut [f64], b: usize, q: usize, passes: &[Pass1q]) {
+fn run_pair_pass(
+    kernel: KernelMode,
+    re: &mut [f64],
+    im: &mut [f64],
+    b: usize,
+    q: usize,
+    passes: &[Pass1q],
+) {
     let pair = (1usize << q) * b;
     let total = re.len();
     debug_assert_eq!(total, im.len(), "re/im planes differ in length");
@@ -746,6 +890,7 @@ fn run_pair_pass(re: &mut [f64], im: &mut [f64], b: usize, q: usize, passes: &[P
                 let (rl, rh) = re.split_at_mut(ts + pair);
                 let (il, ih) = im.split_at_mut(ts + pair);
                 chain_1q_tile(
+                    kernel,
                     passes,
                     &mut rl[ts..ts + len],
                     &mut il[ts..ts + len],
@@ -776,7 +921,7 @@ fn run_pair_pass(re: &mut [f64], im: &mut [f64], b: usize, q: usize, passes: &[P
                         {
                             let (r0, r1) = rb.split_at_mut(pair);
                             let (i0, i1) = ib.split_at_mut(pair);
-                            unitary1_inner(m, class, r0, i0, r1, i1);
+                            apply_unitary1(kernel, m, class, r0, i0, r1, i1);
                         }
                     }
                     Pass1q::Jump(row) => {
@@ -822,9 +967,9 @@ enum Pass2q<'a> {
 }
 
 /// Planar quartet tile: the four strips of both planes, in quartet order.
-struct Quartet<'a> {
-    r: [&'a mut [f64]; 4],
-    i: [&'a mut [f64]; 4],
+pub(crate) struct Quartet<'a> {
+    pub(crate) r: [&'a mut [f64]; 4],
+    pub(crate) i: [&'a mut [f64]; 4],
 }
 
 /// Applies one 4×4 unitary to a quartet tile, reading the quartet in the
@@ -832,7 +977,7 @@ struct Quartet<'a> {
 /// (accumulator starts at zero, `acc += m[r·4+c] · old[c]` in column
 /// order).
 #[inline(always)]
-fn unitary2_inner(m: &M4, swapped: bool, g: &mut Quartet<'_>) {
+pub(crate) fn unitary2_inner(m: &M4, swapped: bool, g: &mut Quartet<'_>) {
     let len = g.r[0].len();
     let map: [usize; 4] = if swapped { [0, 2, 1, 3] } else { [0, 1, 2, 3] };
     for j in 0..len {
@@ -852,6 +997,54 @@ fn unitary2_inner(m: &M4, swapped: bool, g: &mut Quartet<'_>) {
             }
             g.r[map[r]][j] = ar;
             g.i[map[r]][j] = ai;
+        }
+    }
+}
+
+/// Dispatches one 2×2 unitary pair application to the selected kernel
+/// (both arms are bit-identical; see [`KernelMode`]).
+#[inline(always)]
+fn apply_unitary1(
+    kernel: KernelMode,
+    m: &M2,
+    class: MatClass,
+    r0: &mut [f64],
+    i0: &mut [f64],
+    r1: &mut [f64],
+    i1: &mut [f64],
+) {
+    match kernel {
+        KernelMode::Scalar => unitary1_inner(m, class, r0, i0, r1, i1),
+        KernelMode::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2` is only constructed after `avx2_supported()`
+            // returned true (`detect` / `set_kernel_mode`), so the avx2
+            // target feature is available on this CPU.
+            unsafe {
+                crate::panel_simd::unitary1_avx2(m, class, r0, i0, r1, i1);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("KernelMode::Avx2 cannot be constructed off x86_64");
+        }
+    }
+}
+
+/// Dispatches one 4×4 unitary quartet application to the selected kernel
+/// (both arms are bit-identical; see [`KernelMode`]).
+#[inline(always)]
+fn apply_unitary2(kernel: KernelMode, m: &M4, swapped: bool, g: &mut Quartet<'_>) {
+    match kernel {
+        KernelMode::Scalar => unitary2_inner(m, swapped, g),
+        KernelMode::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2` is only constructed after `avx2_supported()`
+            // returned true (`detect` / `set_kernel_mode`), so the avx2
+            // target feature is available on this CPU.
+            unsafe {
+                crate::panel_simd::unitary2_avx2(m, swapped, g);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("KernelMode::Avx2 cannot be constructed off x86_64");
         }
     }
 }
@@ -904,32 +1097,67 @@ fn jump2_inner(row: &[u8], b: usize, swapped: bool, g: &mut Quartet<'_>) {
     }
 }
 
-/// Applies a two-qubit atom chain to one quartet tile. CNOTs are strip
-/// swaps (`swap_with_slice`, a vectorised block exchange).
+/// Restores the physical strip layout after a chain ran with
+/// reference-permuted CNOTs: strip `q` of `r`/`i` holds tile index `q`'s
+/// amplitudes but currently lives at physical slot `slot[q]`; cycle-walk
+/// the permutation with block swaps until every slot holds its own index
+/// again. An identity permutation — every back-to-back CNOT pair on the
+/// same wires, i.e. every controlled-rotation template — costs zero data
+/// movement.
 #[inline(always)]
-fn chain_2q_tile(passes: &[Pass2q], g: &mut Quartet<'_>, b: usize) {
+fn materialize_strips<const N: usize>(
+    r: &mut [&mut [f64]; N],
+    i: &mut [&mut [f64]; N],
+    slot: &mut [usize; N],
+) {
+    for q in 0..N {
+        while slot[q] != q {
+            let p = slot
+                .iter()
+                .position(|&s| s == q)
+                .expect("slot table is a permutation");
+            let [rq, rp] = r.get_disjoint_mut([q, p]).expect("distinct strips");
+            rq.swap_with_slice(rp);
+            let [iq, ip] = i.get_disjoint_mut([q, p]).expect("distinct strips");
+            iq.swap_with_slice(ip);
+            r.swap(q, p);
+            i.swap(q, p);
+            slot.swap(q, p);
+        }
+    }
+}
+
+/// Applies a two-qubit atom chain to one quartet tile. CNOTs permute the
+/// strip *references* (amplitudes keep their values, only their labels
+/// move — `O(1)` per tile); the net permutation is materialised into the
+/// physical layout once at the end of the chain by
+/// [`materialize_strips`], so the final panel contents are bit-identical
+/// to eagerly swapped strips.
+#[inline(always)]
+fn chain_2q_tile(kernel: KernelMode, passes: &[Pass2q], g: &mut Quartet<'_>, b: usize) {
+    // `g.r[q]`/`g.i[q]` always hold quartet index `q`'s amplitudes;
+    // `slot[q]` tracks the physical strip they currently occupy.
+    let mut slot = [0usize, 1, 2, 3];
     for pass in passes {
         match *pass {
             Pass2q::SwapA => {
-                let [_, _, r2, r3] = &mut g.r;
-                r2.swap_with_slice(r3);
-                let [_, _, i2, i3] = &mut g.i;
-                i2.swap_with_slice(i3);
+                g.r.swap(2, 3);
+                g.i.swap(2, 3);
+                slot.swap(2, 3);
             }
             Pass2q::SwapB => {
-                let [_, r1, _, r3] = &mut g.r;
-                r1.swap_with_slice(r3);
-                let [_, i1, _, i3] = &mut g.i;
-                i1.swap_with_slice(i3);
+                g.r.swap(1, 3);
+                g.i.swap(1, 3);
+                slot.swap(1, 3);
             }
-            Pass2q::Unitary(m, swapped) => unitary2_inner(m, swapped, g),
+            Pass2q::Unitary(m, swapped) => apply_unitary2(kernel, m, swapped, g),
             Pass2q::Jump(row, swapped) => jump2_inner(row, b, swapped, g),
             Pass2q::Unitary1(m, class, on_b) => {
                 // A 1q op on one wire couples the two wire-axis pairs;
                 // apply the exact pair kernel to each in turn.
                 for (x, y) in wire_axis(on_b) {
                     let (r0, i0, r1, i1) = quartet_pair(g, x, y);
-                    unitary1_inner(m, class, r0, i0, r1, i1);
+                    apply_unitary1(kernel, m, class, r0, i0, r1, i1);
                 }
             }
             Pass2q::Jump1(row, on_b) => {
@@ -941,6 +1169,7 @@ fn chain_2q_tile(passes: &[Pass2q], g: &mut Quartet<'_>, b: usize) {
             Pass2q::Skip => {}
         }
     }
+    materialize_strips(&mut g.r, &mut g.i, &mut slot);
 }
 
 /// Wire-axis pair index sets in quartet order: a one-qubit op on wire A
@@ -1019,6 +1248,7 @@ fn to_quartet<'a>(
 /// tile (four strips in the supergroup's `(A, B)` wire basis) hosts the
 /// whole chain in cache.
 fn run_quartet_pass(
+    kernel: KernelMode,
     re: &mut [f64],
     im: &mut [f64],
     b: usize,
@@ -1054,7 +1284,7 @@ fn run_quartet_pass(
                     let sr = strips4(re, starts, len);
                     let si = strips4(im, starts, len);
                     let mut g = to_quartet(sr, si, v_is_small);
-                    chain_2q_tile(passes, &mut g, b);
+                    chain_2q_tile(kernel, passes, &mut g, b);
                     ts += len;
                 }
                 bl += 2 * ms;
@@ -1083,9 +1313,362 @@ fn run_quartet_pass(
                 let (si0, si1) = ilb.split_at_mut(ms);
                 let (si2, si3) = ihb.split_at_mut(ms);
                 let mut g = to_quartet([sr0, sr1, sr2, sr3], [si0, si1, si2, si3], v_is_small);
-                chain_2q_tile(passes, &mut g, b);
+                chain_2q_tile(kernel, passes, &mut g, b);
             }
             bh += 2 * mb;
+        }
+    }
+}
+
+/// One precompiled pass of a three-qubit supergroup chain over an octet
+/// tile. Strip indices are three-bit numbers in the group's `(A, B, C)`
+/// wire basis — wire `A` (`u`) is strip bit 2, wire `B` (`v`) bit 1, wire
+/// `C` (`w`) bit 0. Two-qubit atoms carry the strip bits of their own
+/// segment's `(A, B)` wires, so the quartet each one sees is assembled in
+/// the segment's wire order and the atom's `swapped` flag applies
+/// unchanged (exactly as in the per-trajectory engine).
+enum Pass3q<'a> {
+    /// 2×2 unitary on the wire at the given strip bit.
+    Unitary1(&'a M2, MatClass, usize),
+    /// Per-column one-qubit Pauli jumps on the wire at the given strip
+    /// bit.
+    Jump1(&'a [u8], usize),
+    /// CNOT: swap the target-bit strip pair inside every control-set
+    /// octant (`(control bit, target bit)`).
+    Swap(usize, usize),
+    /// 4×4 unitary on the wires at strip bits `(a, b)` of the atom's
+    /// segment; the `bool` is the atom's own orientation flag.
+    Unitary2(&'a M4, bool, usize, usize),
+    /// Per-column Pauli⊗Pauli jumps on the wires at strip bits `(a, b)`.
+    Jump2(&'a [u8], bool, usize, usize),
+    /// Stochastic atom with an all-identity branch row.
+    Skip,
+}
+
+/// Planar octet tile: the eight strips of both planes, indexed by the
+/// three-bit strip number in the group's `(A, B, C)` wire basis.
+struct Octet<'a> {
+    r: [&'a mut [f64]; 8],
+    i: [&'a mut [f64]; 8],
+}
+
+/// Splits eight disjoint equal-length strips out of one plane (starts in
+/// strip-index order, not necessarily increasing).
+///
+/// # Panics
+///
+/// Panics if the strips overlap or escape the plane.
+fn strips8(plane: &mut [f64], starts: [usize; 8], len: usize) -> [&mut [f64]; 8] {
+    plane
+        .get_disjoint_mut(starts.map(|s| s..s + len))
+        .expect("octet strips overlap or escape the plane")
+}
+
+/// Borrows one strip pair (`x != y`) of an octet as the four planar slices
+/// the pair kernels take.
+#[inline(always)]
+fn octet_pair<'q>(
+    o: &'q mut Octet<'_>,
+    x: usize,
+    y: usize,
+) -> (&'q mut [f64], &'q mut [f64], &'q mut [f64], &'q mut [f64]) {
+    let [r0, r1] = o.r.get_disjoint_mut([x, y]).expect("distinct octet strips");
+    let [i0, i1] = o.i.get_disjoint_mut([x, y]).expect("distinct octet strips");
+    (&mut **r0, &mut **i0, &mut **r1, &mut **i1)
+}
+
+/// Borrows four distinct octet strips as a quartet tile, in the given
+/// quartet order.
+#[inline(always)]
+fn octet_quartet<'q>(o: &'q mut Octet<'_>, idx: [usize; 4]) -> Quartet<'q> {
+    let [r0, r1, r2, r3] = o.r.get_disjoint_mut(idx).expect("distinct octet strips");
+    let [i0, i1, i2, i3] = o.i.get_disjoint_mut(idx).expect("distinct octet strips");
+    Quartet {
+        r: [&mut **r0, &mut **r1, &mut **r2, &mut **r3],
+        i: [&mut **i0, &mut **i1, &mut **i2, &mut **i3],
+    }
+}
+
+/// Applies a three-qubit supergroup chain to one octet tile: one-qubit
+/// atoms run the exact pair kernels over the four strip pairs of their
+/// wire, two-qubit atoms run the exact quartet kernels over the two
+/// quartets spanned by their wires, CNOTs permute the strip references
+/// (materialised once at chain end, see [`materialize_strips`]).
+#[inline(always)]
+fn chain_3q_tile(kernel: KernelMode, passes: &[Pass3q], o: &mut Octet<'_>, b: usize) {
+    // `o.r[x]`/`o.i[x]` always hold octet index `x`'s amplitudes;
+    // `slot[x]` tracks the physical strip they currently occupy.
+    let mut slot = [0usize, 1, 2, 3, 4, 5, 6, 7];
+    for pass in passes {
+        match *pass {
+            Pass3q::Unitary1(m, class, wb) => {
+                let wm = 1usize << wb;
+                match kernel {
+                    KernelMode::Scalar => {
+                        for x in 0..8usize {
+                            if x & wm != 0 {
+                                continue;
+                            }
+                            let (r0, i0, r1, i1) = octet_pair(o, x, x | wm);
+                            unitary1_inner(m, class, r0, i0, r1, i1);
+                        }
+                    }
+                    KernelMode::Avx2 => {
+                        #[cfg(target_arch = "x86_64")]
+                        // SAFETY: `Avx2` is only constructed after
+                        // `avx2_supported()` returned true, so the avx2
+                        // target feature is available on this CPU.
+                        unsafe {
+                            crate::panel_simd::unitary1_octet_avx2(
+                                m, class, &mut o.r, &mut o.i, wm,
+                            );
+                        }
+                        #[cfg(not(target_arch = "x86_64"))]
+                        unreachable!("KernelMode::Avx2 cannot be constructed off x86_64");
+                    }
+                }
+            }
+            Pass3q::Jump1(row, wb) => {
+                let wm = 1usize << wb;
+                for x in 0..8usize {
+                    if x & wm != 0 {
+                        continue;
+                    }
+                    let (r0, i0, r1, i1) = octet_pair(o, x, x | wm);
+                    jump1_inner(row, b, r0, i0, r1, i1);
+                }
+            }
+            Pass3q::Swap(cb, tb) => {
+                let cm = 1usize << cb;
+                let tm = 1usize << tb;
+                for x in 0..8usize {
+                    if x & cm == 0 || x & tm != 0 {
+                        continue;
+                    }
+                    o.r.swap(x, x | tm);
+                    o.i.swap(x, x | tm);
+                    slot.swap(x, x | tm);
+                }
+            }
+            Pass3q::Unitary2(m, swapped, ab, bb) => {
+                let am = 1usize << ab;
+                let bm = 1usize << bb;
+                // The strip bit outside the atom's wires is free; one
+                // quartet per value of it, in the segment's (A, B) order
+                // (wire A as the quartet's most significant bit).
+                let fm = 7usize ^ am ^ bm;
+                for f in [0, fm] {
+                    let mut g = octet_quartet(o, [f, f | bm, f | am, f | am | bm]);
+                    apply_unitary2(kernel, m, swapped, &mut g);
+                }
+            }
+            Pass3q::Jump2(row, swapped, ab, bb) => {
+                let am = 1usize << ab;
+                let bm = 1usize << bb;
+                let fm = 7usize ^ am ^ bm;
+                for f in [0, fm] {
+                    let mut g = octet_quartet(o, [f, f | bm, f | am, f | am | bm]);
+                    jump2_inner(row, b, swapped, &mut g);
+                }
+            }
+            Pass3q::Skip => {}
+        }
+    }
+    materialize_strips(&mut o.r, &mut o.i, &mut slot);
+}
+
+/// Executes a three-qubit pass chain over the whole panel in a single
+/// tiled pass — the octet counterpart of [`run_quartet_pass`]: each octet
+/// tile (eight strips in the supergroup's `(A, B, C)` wire basis) hosts
+/// the whole chain in cache, so a full entangling layer plus its noise
+/// interleave costs one panel memory pass.
+#[allow(clippy::too_many_arguments)]
+fn run_octet_pass(
+    kernel: KernelMode,
+    re: &mut [f64],
+    im: &mut [f64],
+    b: usize,
+    u: usize,
+    v: usize,
+    w: usize,
+    passes: &[Pass3q],
+) {
+    let su = (1usize << u) * b;
+    let sv = (1usize << v) * b;
+    let sw = (1usize << w) * b;
+    let total = re.len();
+    debug_assert_eq!(total, im.len(), "re/im planes differ in length");
+    let mut sorted = [su, sv, sw];
+    sorted.sort_unstable();
+    let [s0, s1, s2] = sorted;
+    debug_assert!(
+        b > 0
+            && s0 < s1
+            && s1 < s2
+            && total.is_multiple_of(2 * s2)
+            && s2.is_multiple_of(2 * s1)
+            && s1.is_multiple_of(2 * s0),
+        "wire strides for ({u}, {v}, {w}) do not tile the {total}-element \
+         panel (wire out of range, aliased wires, or corrupt panel shape)"
+    );
+    let tile = b * (TILE_ELEMS / b).max(1);
+    if s0 <= GATHER_STRIP_MAX {
+        // Low-wire groups: the natural octet strips are only `s0` elements
+        // long (as short as `b` when the lowest wire is qubit 0), so
+        // per-octet chain dispatch and vector remainders would dominate
+        // the actual arithmetic. Gather many short octets into one
+        // contiguous scratch octet and run the chain there instead.
+        run_octet_gathered(kernel, re, im, b, u, v, w, passes);
+        return;
+    }
+    let len_cap = tile.min(s0);
+    // Walk the panel as nested half-blocks of the three sorted strides:
+    // each tile start `ts` owns the octet at `ts + {0,su} + {0,sv} +
+    // {0,sw}`, and the loop bounds keep every combination disjoint and
+    // panel-covering (each stride divides the next, as asserted above).
+    let mut b2 = 0usize;
+    while b2 < total {
+        let mut b1 = b2;
+        while b1 < b2 + s2 {
+            let mut b0 = b1;
+            while b0 < b1 + s1 {
+                let mut ts = b0;
+                while ts < b0 + s0 {
+                    let len = len_cap.min(b0 + s0 - ts);
+                    let mut starts = [0usize; 8];
+                    for (lidx, start) in starts.iter_mut().enumerate() {
+                        *start = ts
+                            + if lidx & 4 != 0 { su } else { 0 }
+                            + if lidx & 2 != 0 { sv } else { 0 }
+                            + if lidx & 1 != 0 { sw } else { 0 };
+                    }
+                    let mut o = Octet {
+                        r: strips8(re, starts, len),
+                        i: strips8(im, starts, len),
+                    };
+                    chain_3q_tile(kernel, passes, &mut o, b);
+                    ts += len;
+                }
+                b0 += 2 * s0;
+            }
+            b1 += 2 * s1;
+        }
+        b2 += 2 * s2;
+    }
+}
+
+/// Longest natural strip (in elements) the gathered octet path takes
+/// over: above this the direct per-octet walk already amortises its
+/// dispatch cost over enough elements that the gather/scatter's two extra
+/// panel traversals would be a net loss (measured crossover on the
+/// guadalupe workload); at or below it the chain dispatch per tiny octet
+/// dominates the copies.
+const GATHER_STRIP_MAX: usize = 4;
+
+/// Small-stride variant of [`run_octet_pass`]: gathers `runs_cap` short
+/// octets (strip runs of `s0` elements each) into one contiguous scratch
+/// octet, runs the whole chain there, and scatters the strips back.
+///
+/// Concatenation is exact: every panel kernel is elementwise across strip
+/// positions (pair/quartet kernels combine equal positions of different
+/// strips, jump kernels map position `j` to column `j % b`), and each
+/// gathered run starts at a multiple of `s0` — itself a multiple of the
+/// column count `b` — so every element sees bit-for-bit the arithmetic it
+/// would see in its natural octet, just batched behind one chain dispatch
+/// instead of hundreds.
+#[allow(clippy::too_many_arguments)]
+fn run_octet_gathered(
+    kernel: KernelMode,
+    re: &mut [f64],
+    im: &mut [f64],
+    b: usize,
+    u: usize,
+    v: usize,
+    w: usize,
+    passes: &[Pass3q],
+) {
+    let su = (1usize << u) * b;
+    let sv = (1usize << v) * b;
+    let sw = (1usize << w) * b;
+    let total = re.len();
+    let mut sorted = [su, sv, sw];
+    sorted.sort_unstable();
+    let [s0, s1, s2] = sorted;
+    let tile = b * (TILE_ELEMS / b).max(1);
+    let runs_cap = (tile / s0).max(1);
+    let cap = runs_cap * s0;
+    // Octet-index → panel offset of that strip within a tile base.
+    let offs: [usize; 8] = std::array::from_fn(|lidx| {
+        (if lidx & 4 != 0 { su } else { 0 })
+            + (if lidx & 2 != 0 { sv } else { 0 })
+            + (if lidx & 1 != 0 { sw } else { 0 })
+    });
+    let mut sr = vec![0.0f64; 8 * cap];
+    let mut si = vec![0.0f64; 8 * cap];
+    let mut bases: Vec<usize> = Vec::with_capacity(runs_cap);
+    // Same panel walk as `run_octet_pass` (each base owns one octet of
+    // `s0`-element strips), buffering bases until a scratch fill.
+    let mut b2 = 0usize;
+    while b2 < total {
+        let mut b1 = b2;
+        while b1 < b2 + s2 {
+            let mut b0 = b1;
+            while b0 < b1 + s1 {
+                bases.push(b0);
+                if bases.len() == runs_cap {
+                    flush_gathered(
+                        kernel, passes, re, im, &bases, offs, s0, cap, &mut sr, &mut si, b,
+                    );
+                    bases.clear();
+                }
+                b0 += 2 * s0;
+            }
+            b1 += 2 * s1;
+        }
+        b2 += 2 * s2;
+    }
+    flush_gathered(
+        kernel, passes, re, im, &bases, offs, s0, cap, &mut sr, &mut si, b,
+    );
+}
+
+/// Gather → chain → scatter for one scratch fill of [`run_octet_gathered`].
+#[allow(clippy::too_many_arguments)]
+fn flush_gathered(
+    kernel: KernelMode,
+    passes: &[Pass3q],
+    re: &mut [f64],
+    im: &mut [f64],
+    bases: &[usize],
+    offs: [usize; 8],
+    s0: usize,
+    cap: usize,
+    sr: &mut [f64],
+    si: &mut [f64],
+    b: usize,
+) {
+    if bases.is_empty() {
+        return;
+    }
+    let run_len = bases.len() * s0;
+    for (lidx, &off) in offs.iter().enumerate() {
+        for (k, &ts) in bases.iter().enumerate() {
+            let dst = lidx * cap + k * s0;
+            sr[dst..dst + s0].copy_from_slice(&re[ts + off..ts + off + s0]);
+            si[dst..dst + s0].copy_from_slice(&im[ts + off..ts + off + s0]);
+        }
+    }
+    let starts: [usize; 8] = std::array::from_fn(|lidx| lidx * cap);
+    let mut o = Octet {
+        r: strips8(sr, starts, run_len),
+        i: strips8(si, starts, run_len),
+    };
+    chain_3q_tile(kernel, passes, &mut o, b);
+    for (lidx, &off) in offs.iter().enumerate() {
+        for (k, &ts) in bases.iter().enumerate() {
+            let src = lidx * cap + k * s0;
+            re[ts + off..ts + off + s0].copy_from_slice(&sr[src..src + s0]);
+            im[ts + off..ts + off + s0].copy_from_slice(&si[src..src + s0]);
         }
     }
 }
@@ -1111,7 +1694,7 @@ fn run_quartet_pass(
 /// Use [`estimate_prob_one_panel`] for the batched counterpart of
 /// [`estimate_prob_one`]; the panel width is a pure performance knob
 /// (override with `QUCAD_TRAJ_BATCH`, see [`panel_width_from_env`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TrajectoryPanel {
     n_qubits: usize,
     batch: usize,
@@ -1121,12 +1704,51 @@ pub struct TrajectoryPanel {
     uniforms: Vec<f64>,
     branch_rows: Vec<u8>,
     branch_any: Vec<bool>,
+    kernel: KernelMode,
+}
+
+impl Default for TrajectoryPanel {
+    fn default() -> Self {
+        TrajectoryPanel {
+            n_qubits: 0,
+            batch: 0,
+            re: Vec::new(),
+            im: Vec::new(),
+            norms: Vec::new(),
+            uniforms: Vec::new(),
+            branch_rows: Vec::new(),
+            branch_any: Vec::new(),
+            kernel: KernelMode::detect(),
+        }
+    }
 }
 
 impl TrajectoryPanel {
-    /// Creates an empty panel (no storage until the first reset).
+    /// Creates an empty panel (no storage until the first reset), with
+    /// the kernel dispatch at [`KernelMode::detect`].
     pub fn new() -> Self {
         TrajectoryPanel::default()
+    }
+
+    /// The kernel implementation this panel's unitary passes dispatch to.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// Overrides the kernel dispatch — how the bit-identity proptests pin
+    /// the scalar oracle against the AVX2 kernels on the same host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`KernelMode::Avx2`] on a host without AVX2
+    /// (constructing the variant without support would make the dispatch
+    /// helpers' SAFETY argument unsound).
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        assert!(
+            mode == KernelMode::Scalar || KernelMode::avx2_supported(),
+            "AVX2 kernels requested on a host without AVX2"
+        );
+        self.kernel = mode;
     }
 
     /// Re-initialises every column to `|0…0⟩` over `n_qubits`, reusing the
@@ -1184,10 +1806,11 @@ impl TrajectoryPanel {
 
     /// Executes one fused program across all columns, one tiled panel pass
     /// per **supergroup** — a maximal run of consecutive fused segments
-    /// whose union support fits within two qubits (a gate+channel segment
-    /// plus the single-qubit segments of its decomposition neighbours,
-    /// e.g. the full `CX·dep₂·RY·dep₁·CX·dep₂·RY·dep₁` body of a noisy
-    /// controlled rotation). Unitary atoms are applied panel-wide,
+    /// whose union support fits within [`SUPERGROUP_CAP`] qubits (a whole
+    /// entangling layer plus its noise interleave and the single-qubit
+    /// segments of its decomposition neighbours, e.g. the full
+    /// `CX·dep₂·RY·dep₁·CX·dep₂·RY·dep₁` body of a noisy controlled
+    /// rotation). Unitary atoms are applied panel-wide,
     /// stochastic atoms consume one pre-drawn uniform per column
     /// (`uniforms[c * n_stoch + s]` for column `c`, stochastic atom `s`)
     /// and apply their jump column-wise inside the same pass.
@@ -1217,12 +1840,13 @@ impl TrajectoryPanel {
             "need one uniform per stochastic atom per column"
         );
         let b = self.batch;
+        let kernel = self.kernel;
         let mut s = 0usize;
         let mut rows = std::mem::take(&mut self.branch_rows);
         let mut any = std::mem::take(&mut self.branch_any);
         let segs = program.segments();
         for group in supergroups(program) {
-            let (u, v) = (group.u, group.v);
+            let (u, v, w) = (group.u, group.v, group.w);
             let group_segs = &segs[group.segments];
             // Pre-sample the group's jump branches: branch `k` of
             // stochastic atom `j` for column `c` is a pure function of the
@@ -1254,8 +1878,8 @@ impl TrajectoryPanel {
                     s += 1;
                 }
             }
-            match v {
-                None => {
+            match (v, w) {
+                (None, _) => {
                     // Single-qubit group: cheaper pair tiles.
                     let mut passes: Vec<Pass1q> = Vec::new();
                     let mut jump = 0usize;
@@ -1277,9 +1901,9 @@ impl TrajectoryPanel {
                             }
                         }
                     }
-                    run_pair_pass(&mut self.re, &mut self.im, b, u, &passes);
+                    run_pair_pass(kernel, &mut self.re, &mut self.im, b, u, &passes);
                 }
-                Some(v) => {
+                (Some(v), None) => {
                     let mut passes: Vec<Pass2q> = Vec::new();
                     let mut jump = 0usize;
                     for seg in group_segs {
@@ -1330,7 +1954,89 @@ impl TrajectoryPanel {
                             }
                         }
                     }
-                    run_quartet_pass(&mut self.re, &mut self.im, b, u, v, &passes);
+                    run_quartet_pass(kernel, &mut self.re, &mut self.im, b, u, v, &passes);
+                }
+                (Some(v), Some(w)) => {
+                    // Three-qubit group: octet tiles in the group's
+                    // (u, v, w) wire basis (strip bits 2, 1, 0).
+                    let bit_of = |q: usize| {
+                        if q == u {
+                            2usize
+                        } else if q == v {
+                            1
+                        } else {
+                            debug_assert_eq!(q, w, "segment qubit outside the group's wire basis");
+                            0
+                        }
+                    };
+                    let mut passes: Vec<Pass3q> = Vec::new();
+                    let mut jump = 0usize;
+                    for seg in group_segs {
+                        match seg.support() {
+                            Support::One(q) => {
+                                let wb = bit_of(q);
+                                for atom in program.atoms_in(seg) {
+                                    match *atom {
+                                        FusedAtom::Unitary1 { m2, class } => {
+                                            passes.push(Pass3q::Unitary1(
+                                                program.m2(m2),
+                                                class,
+                                                wb,
+                                            ));
+                                        }
+                                        FusedAtom::Depol1 { .. } => {
+                                            passes.push(if any[jump] {
+                                                Pass3q::Jump1(&rows[jump * b..(jump + 1) * b], wb)
+                                            } else {
+                                                Pass3q::Skip
+                                            });
+                                            jump += 1;
+                                        }
+                                        _ => unreachable!("two-qubit atom in one-qubit segment"),
+                                    }
+                                }
+                            }
+                            Support::Two(a, bq) => {
+                                let ab = bit_of(a);
+                                let bb = bit_of(bq);
+                                for atom in program.atoms_in(seg) {
+                                    match *atom {
+                                        FusedAtom::Cx { control } => {
+                                            let (cb, tb) = if control == Wire::A {
+                                                (ab, bb)
+                                            } else {
+                                                (bb, ab)
+                                            };
+                                            passes.push(Pass3q::Swap(cb, tb));
+                                        }
+                                        FusedAtom::Unitary2 { m4, swapped } => {
+                                            passes.push(Pass3q::Unitary2(
+                                                program.m4(m4),
+                                                swapped,
+                                                ab,
+                                                bb,
+                                            ));
+                                        }
+                                        FusedAtom::Depol2 { swapped, .. } => {
+                                            passes.push(if any[jump] {
+                                                Pass3q::Jump2(
+                                                    &rows[jump * b..(jump + 1) * b],
+                                                    swapped,
+                                                    ab,
+                                                    bb,
+                                                )
+                                            } else {
+                                                Pass3q::Skip
+                                            });
+                                            jump += 1;
+                                        }
+                                        _ => unreachable!("one-qubit atom in two-qubit segment"),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    run_octet_pass(kernel, &mut self.re, &mut self.im, b, u, v, w, &passes);
                 }
             }
         }
@@ -1755,6 +2461,68 @@ mod tests {
     }
 
     #[test]
+    fn supergroup_planner_joins_three_qubit_support() {
+        let program = noisy_test_program();
+        // Ry(0)·dep₁(0) / CX(0,1)·dep₂(0,1) / Rz(2) / Cry(1,2)·dep₂(2,1)
+        // spans exactly {0, 1, 2}: one octet group covers the program,
+        // wires in first-seen order.
+        let plan = supergroup_plan(&program);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].segments, 0..program.segments().len());
+        assert_eq!((plan[0].u, plan[0].v, plan[0].w), (0, Some(1), Some(2)));
+    }
+
+    #[test]
+    fn supergroup_planner_splits_on_fourth_wire() {
+        let mut b = ProgramBuilder::new(4);
+        b.cx(0, 1);
+        b.depolarize_2q(0.1, 0, 1);
+        b.unitary_1q(2, GateKind::Ry.entries_1q(0.3).unwrap());
+        b.cx(2, 3);
+        let program = b.finish();
+        let plan = supergroup_plan(&program);
+        // {0,1,2} fits the cap; segment on (2,3) brings qubit 3 and must
+        // open a new group.
+        assert_eq!(plan.len(), 2);
+        assert_eq!((plan[0].u, plan[0].v, plan[0].w), (0, Some(1), Some(2)));
+        assert_eq!((plan[1].u, plan[1].v, plan[1].w), (2, Some(3), None));
+    }
+
+    #[test]
+    fn scalar_and_avx2_kernels_are_bit_identical() {
+        if !KernelMode::avx2_supported() {
+            return;
+        }
+        let program = noisy_test_program();
+        let n_stoch = program.n_stochastic_atoms();
+        // Width 7: exercises the SIMD kernels' scalar remainder tail.
+        let batch = 7usize;
+        let mut rng = StdRng::seed_from_u64(21);
+        let uniforms: Vec<f64> = (0..batch * n_stoch).map(|_| rng.gen()).collect();
+        let mut scalar = TrajectoryPanel::new();
+        scalar.set_kernel_mode(KernelMode::Scalar);
+        scalar.reset_zero(3, batch);
+        scalar.run_stochastic(&program, &uniforms);
+        let mut simd = TrajectoryPanel::new();
+        simd.set_kernel_mode(KernelMode::Avx2);
+        simd.reset_zero(3, batch);
+        simd.run_stochastic(&program, &uniforms);
+        for c in 0..batch {
+            for (i, (a, b)) in scalar
+                .column(c)
+                .iter()
+                .zip(simd.column(c).iter())
+                .enumerate()
+            {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "column {c} amplitude {i}: scalar {a} vs avx2 {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn panel_estimate_is_bit_identical_to_per_trajectory_engine() {
         let program = noisy_test_program();
         let mut ws = TrajectoryWorkspace::new();
@@ -1824,8 +2592,64 @@ mod tests {
     fn auto_panel_width_shrinks_with_register_size() {
         assert_eq!(auto_panel_width(4), 16);
         assert_eq!(auto_panel_width(16), 8);
-        assert_eq!(auto_panel_width(20), 1);
-        assert!(auto_panel_width(MAX_TRAJECTORY_QUBITS) >= 1);
+        assert_eq!(auto_panel_width(20), MIN_AUTO_PANEL_WIDTH);
+        assert!(auto_panel_width(MAX_TRAJECTORY_QUBITS) >= MIN_AUTO_PANEL_WIDTH);
+    }
+
+    #[test]
+    fn auto_panel_width_keeps_simd_fill_on_wide_registers() {
+        // Pinned width per register size across the trajectory engine's
+        // whole range: the 8 MiB streaming budget picks the width down to
+        // 17 qubits, the SIMD-lane floor holds from 18 on (wide registers
+        // must not degenerate to per-trajectory execution).
+        for n in 4..=MAX_TRAJECTORY_QUBITS {
+            let expect = match n {
+                4..=15 => 16,
+                16 => 8,
+                17 => 4,
+                _ => MIN_AUTO_PANEL_WIDTH,
+            };
+            assert_eq!(auto_panel_width(n), expect, "auto width at {n} qubits");
+            assert_eq!(
+                auto_panel_width_is_clamped(n),
+                n >= 18,
+                "clamp detection at {n} qubits"
+            );
+        }
+        assert!(auto_panel_width(20) >= 4);
+    }
+
+    #[test]
+    fn panel_width_value_resolution() {
+        // Explicit values parse (clamped to the trajectory count)...
+        assert_eq!(panel_width_from_value(Some("12"), 16, 256), 12);
+        assert_eq!(panel_width_from_value(Some(" 7 "), 16, 256), 7);
+        assert_eq!(panel_width_from_value(Some("12"), 16, 5), 5);
+        // ...an unset variable resolves to the auto width...
+        assert_eq!(panel_width_from_value(None, 16, 256), auto_panel_width(16));
+        // ...and the hard cap holds.
+        assert_eq!(
+            panel_width_from_value(Some("999999"), 4, u32::MAX),
+            MAX_PANEL_WIDTH
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn panel_width_rejects_whitespace_value() {
+        let _ = panel_width_from_value(Some("   "), 16, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn panel_width_rejects_empty_value() {
+        let _ = panel_width_from_value(Some(""), 16, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn panel_width_rejects_zero_value() {
+        let _ = panel_width_from_value(Some("0"), 16, 256);
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   (the kernels pick conjugation paths from the claim, so a wrong claim
 //!   silently corrupts amplitudes);
 //! - every prebound matrix is unitary within [`VERIFY_TOL`];
+//! - every precomposed matrix (see
+//!   [`FusedProgram::precompose`]) equals the composition of its recorded
+//!   factors **bit-exactly** — the composition expression is part of the
+//!   IR contract;
 //! - every stochastic atom's `λ` is finite and in `(0, 1]`;
 //! - the panel supergroup plan covers all segments contiguously and every
-//!   group's union support fits the `(u, v)` wire basis within
+//!   group's union support fits the `(u, v, w)` wire basis within
 //!   [`SUPERGROUP_CAP`](crate::trajectory::SUPERGROUP_CAP).
 //!
 //! [`verify_program`] is wired as a `debug_assert!` at the
@@ -30,7 +34,7 @@
 //! seeded program mutator with a catalogue of corruption classes, each of
 //! which must be rejected.
 
-use crate::fused::{classify2, FusedAtom, FusedProgram, MatClass, Support};
+use crate::fused::{classify2, compose2, compose4, FusedAtom, FusedProgram, MatClass, Support};
 use crate::math::CMatrix;
 use crate::noise::KrausChannel;
 use crate::trajectory::{supergroup_plan, Supergroup, MAX_TRAJECTORY_QUBITS, SUPERGROUP_CAP};
@@ -126,6 +130,15 @@ pub enum VerifyError {
         /// The entry's index.
         index: usize,
     },
+    /// A precomposed table entry is malformed: its index is out of range,
+    /// it records fewer than two factors, or it does not equal the
+    /// bit-exact composition of its recorded factors.
+    ComposeMismatch {
+        /// Which table (`"m2"` or `"m4"`).
+        table: &'static str,
+        /// The composed entry's table index.
+        index: usize,
+    },
     /// A stochastic atom's strength is not finite or outside `(0, 1]`.
     Lambda {
         /// Atom index into the program's atom table.
@@ -150,14 +163,15 @@ pub enum VerifyError {
         /// Segments in the program.
         total: usize,
     },
-    /// A group's `(u, v)` wire basis is malformed (out of range or
-    /// colliding) — the union support would exceed the supergroup cap.
+    /// A group's `(u, v, w)` wire basis is malformed (out of range,
+    /// colliding, or a later wire set while an earlier one is empty) —
+    /// the union support would exceed the supergroup cap.
     PlanWires {
         /// Group index in the plan.
         group: usize,
     },
-    /// A segment's support is not contained in its group's `(u, v)` wire
-    /// basis.
+    /// A segment's support is not contained in its group's `(u, v, w)`
+    /// wire basis.
     PlanSupport {
         /// Group index in the plan.
         group: usize,
@@ -228,6 +242,11 @@ impl std::fmt::Display for VerifyError {
                 f,
                 "{table} table entry {index} is not unitary within {VERIFY_TOL:e}"
             ),
+            VerifyError::ComposeMismatch { table, index } => write!(
+                f,
+                "composed {table} table entry {index} does not equal the bit-exact \
+                 composition of its recorded factors"
+            ),
             VerifyError::Lambda { atom, lambda } => write!(
                 f,
                 "atom {atom} has depolarising strength {lambda} outside (0, 1]"
@@ -245,12 +264,12 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::PlanWires { group } => write!(
                 f,
-                "supergroup {group} has a malformed (u, v) wire basis \
+                "supergroup {group} has a malformed (u, v, w) wire basis \
                  (union support exceeds the {SUPERGROUP_CAP}-qubit cap)"
             ),
             VerifyError::PlanSupport { group, segment } => write!(
                 f,
-                "segment {segment} escapes supergroup {group}'s (u, v) wire basis"
+                "segment {segment} escapes supergroup {group}'s (u, v, w) wire basis"
             ),
             VerifyError::ChannelIncomplete { arity } => write!(
                 f,
@@ -349,9 +368,46 @@ pub fn verify_program(program: &FusedProgram) -> Result<(), VerifyError> {
         }
     }
 
+    // Precomposed products must be re-derivable bit-exactly from their
+    // recorded factor provenance.
+    verify_composed(program)?;
+
     // The panel engine's supergroup plan must satisfy its own invariants
     // for any structurally sound program.
     verify_supergroup_plan(program, &supergroup_plan(program))
+}
+
+/// Bit-exact slice equality on complex matrices (the composition check is
+/// exact by contract, so no tolerance).
+fn m_bits_eq(a: &[crate::math::Complex64], b: &[crate::math::Complex64]) -> bool {
+    a.iter()
+        .zip(b)
+        .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+/// Checks the precompose provenance tables: indices in range, at least two
+/// factors per product (a one-factor "product" is never emitted), and each
+/// stored matrix equal to [`compose2`]/[`compose4`] of its factors.
+fn verify_composed(program: &FusedProgram) -> Result<(), VerifyError> {
+    for (idx, factors) in program.composed2() {
+        let index = *idx as usize;
+        if index >= program.n_m2s()
+            || factors.len() < 2
+            || !m_bits_eq(program.m2(*idx), &compose2(factors))
+        {
+            return Err(VerifyError::ComposeMismatch { table: "m2", index });
+        }
+    }
+    for (idx, factors) in program.composed4() {
+        let index = *idx as usize;
+        if index >= program.n_m4s()
+            || factors.len() < 2
+            || !m_bits_eq(program.m4(*idx), &compose4(factors))
+        {
+            return Err(VerifyError::ComposeMismatch { table: "m4", index });
+        }
+    }
+    Ok(())
 }
 
 /// Checks one segment support against the register.
@@ -467,9 +523,9 @@ fn verify_lambda(atom: usize, lambda: f64) -> Result<(), VerifyError> {
 
 /// Statically checks a panel supergroup plan against its program: groups
 /// partition the segment list contiguously and in order, every group's
-/// `(u, v)` wire basis is in-range and collision-free (so the union
-/// support respects the [`SUPERGROUP_CAP`] cap), and every member
-/// segment's support is contained in that basis.
+/// `(u, v, w)` wire basis is in-range, collision-free, and filled in
+/// order (so the union support respects the [`SUPERGROUP_CAP`] cap), and
+/// every member segment's support is contained in that basis.
 ///
 /// [`verify_program`] runs this on the re-derived
 /// [`supergroup_plan`](crate::trajectory::supergroup_plan); calling it
@@ -495,11 +551,14 @@ pub fn verify_supergroup_plan(
                 total: segs.len(),
             });
         }
-        let in_basis = |q: usize| q == group.u || group.v == Some(q);
-        if group.u >= program.n_qubits()
+        let in_basis = |q: usize| q == group.u || group.v == Some(q) || group.w == Some(q);
+        let wires_bad = group.u >= program.n_qubits()
             || group.v == Some(group.u)
             || group.v.is_some_and(|v| v >= program.n_qubits())
-        {
+            || group.w.is_some_and(|w| {
+                group.v.is_none() || w == group.u || group.v == Some(w) || w >= program.n_qubits()
+            });
+        if wires_bad {
             return Err(VerifyError::PlanWires { group: gi });
         }
         for (si, seg) in (group.segments.start..).zip(&segs[group.segments.clone()]) {
@@ -567,8 +626,15 @@ pub mod mutate {
         MatrixIndexOutOfRange,
         /// Flip a [`MatClass`] claim away from the derived class.
         WrongClassClaim,
-        /// Scale a prebound matrix entry so it is no longer unitary.
+        /// Scale a prebound matrix entry so it is no longer unitary
+        /// (precomposed product entries are skipped — scaling those would
+        /// also break the composition invariant, and each class must break
+        /// exactly one).
         NonUnitaryMatrix,
+        /// Scale one recorded precompose factor so the stored product no
+        /// longer equals the factors' bit-exact composition (the product
+        /// entry itself stays unitary, so only that invariant breaks).
+        ComposedFactorMismatch,
         /// Raise a depolarising strength above 1.
         LambdaTooLarge,
         /// Zero a depolarising strength (builder-dropped no-op).
@@ -590,12 +656,13 @@ pub mod mutate {
     }
 
     /// Every corruption class, for exhaustive self-tests.
-    pub const ALL: [Corruption; 14] = [
+    pub const ALL: [Corruption; 15] = [
         Corruption::QubitOutOfRange,
         Corruption::PairCollision,
         Corruption::MatrixIndexOutOfRange,
         Corruption::WrongClassClaim,
         Corruption::NonUnitaryMatrix,
+        Corruption::ComposedFactorMismatch,
         Corruption::LambdaTooLarge,
         Corruption::LambdaNonPositive,
         Corruption::AtomArityMismatch,
@@ -692,18 +759,51 @@ pub mod mutate {
                 }
             }
             Corruption::NonUnitaryMatrix => {
-                let total = p.m2s.len() + p.m4s.len();
+                // Composed product entries are excluded: scaling one would
+                // break the composition invariant as well as unitarity.
+                let composed2: Vec<usize> =
+                    p.composed2().iter().map(|(i, _)| *i as usize).collect();
+                let composed4: Vec<usize> =
+                    p.composed4().iter().map(|(i, _)| *i as usize).collect();
+                let m2_sites: Vec<usize> = (0..p.m2s.len())
+                    .filter(|i| !composed2.contains(i))
+                    .collect();
+                let m4_sites: Vec<usize> = (0..p.m4s.len())
+                    .filter(|i| !composed4.contains(i))
+                    .collect();
+                let total = m2_sites.len() + m4_sites.len();
                 if total == 0 {
                     return None;
                 }
                 let i = pick(&mut rng, total);
                 let scale = Complex64::real(3.0);
-                if i < p.m2s.len() {
-                    for z in &mut p.m2s[i] {
+                if i < m2_sites.len() {
+                    for z in &mut p.m2s[m2_sites[i]] {
                         *z *= scale;
                     }
                 } else {
-                    for z in &mut p.m4s[i - p.m2s.len()] {
+                    for z in &mut p.m4s[m4_sites[i - m2_sites.len()]] {
+                        *z *= scale;
+                    }
+                }
+            }
+            Corruption::ComposedFactorMismatch => {
+                let total = p.composed2.len() + p.composed4.len();
+                if total == 0 {
+                    return None;
+                }
+                let i = pick(&mut rng, total);
+                let scale = Complex64::real(3.0);
+                if i < p.composed2.len() {
+                    let factors = &mut p.composed2[i].1;
+                    let fi = pick(&mut rng, factors.len());
+                    for z in &mut factors[fi] {
+                        *z *= scale;
+                    }
+                } else {
+                    let factors = &mut p.composed4[i - p.composed2.len()].1;
+                    let fi = pick(&mut rng, factors.len());
+                    for z in &mut factors[fi] {
                         *z *= scale;
                     }
                 }
@@ -789,6 +889,77 @@ pub mod mutate {
         }
         Some(p)
     }
+
+    /// One class of supergroup-plan corruption (exactly one plan invariant
+    /// broken per class), targeting
+    /// [`verify_supergroup_plan`](super::verify_supergroup_plan) with
+    /// externally damaged plans the way [`Corruption`] targets programs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum PlanCorruption {
+        /// Merge two adjacent groups whose union support exceeds the
+        /// [`SUPERGROUP_CAP`] cap, keeping the first group's wire basis —
+        /// a member segment escapes the basis.
+        MergeBeyondCap,
+        /// Collide the third wire onto the first — a malformed basis.
+        ThirdWireCollision,
+        /// Drop the final group, leaving segments uncovered.
+        Truncate,
+    }
+
+    /// Every plan corruption class, for exhaustive self-tests.
+    pub const PLAN_ALL: [PlanCorruption; 3] = [
+        PlanCorruption::MergeBeyondCap,
+        PlanCorruption::ThirdWireCollision,
+        PlanCorruption::Truncate,
+    ];
+
+    /// Applies `class` to the program's own derived supergroup plan at a
+    /// seed-chosen position; returns `None` when the plan offers no site
+    /// (e.g. a single-group plan cannot be merged or truncated into a
+    /// still-covering-but-wrong shape).
+    pub fn corrupt_plan(
+        program: &FusedProgram,
+        class: PlanCorruption,
+        seed: u64,
+    ) -> Option<Vec<Supergroup>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = supergroup_plan(program);
+        match class {
+            PlanCorruption::MergeBeyondCap => {
+                let wires = |g: &Supergroup| {
+                    let mut w = vec![g.u];
+                    w.extend(g.v);
+                    w.extend(g.w);
+                    w
+                };
+                let candidates: Vec<usize> = (0..plan.len().saturating_sub(1))
+                    .filter(|&i| {
+                        let mut union = wires(&plan[i]);
+                        for q in wires(&plan[i + 1]) {
+                            if !union.contains(&q) {
+                                union.push(q);
+                            }
+                        }
+                        union.len() > SUPERGROUP_CAP
+                    })
+                    .collect();
+                let i = choose(&mut rng, &candidates)?;
+                plan[i].segments = plan[i].segments.start..plan[i + 1].segments.end;
+                plan.remove(i + 1);
+            }
+            PlanCorruption::ThirdWireCollision => {
+                if plan.is_empty() {
+                    return None;
+                }
+                let i = pick(&mut rng, plan.len());
+                plan[i].w = Some(plan[i].u);
+            }
+            PlanCorruption::Truncate => {
+                plan.pop()?;
+            }
+        }
+        Some(plan)
+    }
 }
 
 #[cfg(test)]
@@ -840,6 +1011,7 @@ mod tests {
         // Shift the first group's basis off its segments' support.
         plan[0].u = p.n_qubits() - 1;
         plan[0].v = None;
+        plan[0].w = None;
         assert!(matches!(
             verify_supergroup_plan(&p, &plan),
             Err(VerifyError::PlanSupport { .. })
@@ -852,18 +1024,93 @@ mod tests {
         ));
     }
 
+    /// The rich program's precomposable cousin: runs of consecutive
+    /// unitaries on both arities, collapsed by `precompose`, so the
+    /// composed-provenance corruption classes have sites in the corpus.
+    fn precomposed_program() -> FusedProgram {
+        let mut b = ProgramBuilder::new(3);
+        b.unitary_1q(0, GateKind::H.matrix(0.0).to_2x2().unwrap());
+        b.unitary_1q(0, GateKind::Rz.matrix(0.7).to_2x2().unwrap());
+        b.depolarize_1q(0, 0.01);
+        b.cx(0, 1);
+        b.unitary_2q(0, 1, GateKind::Crz.matrix(0.9).to_4x4().unwrap());
+        b.unitary_2q(1, 0, GateKind::Cry.matrix(0.4).to_4x4().unwrap());
+        b.depolarize_2q(0.04, 0, 1);
+        b.unitary_1q(2, GateKind::Ry.matrix(0.4).to_2x2().unwrap());
+        b.depolarize_1q(2, 0.03);
+        let p = b.finish().precompose();
+        assert!(!p.composed2().is_empty() && !p.composed4().is_empty());
+        p
+    }
+
+    #[test]
+    fn accepts_precomposed_programs() {
+        assert_eq!(verify_program(&precomposed_program()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_tampered_composed_products() {
+        let mut p = precomposed_program();
+        // Recompose the product from the factors but drop a factor: the
+        // stored matrix no longer matches the provenance.
+        p.composed2[0].1.pop();
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::ComposeMismatch { table: "m2", .. })
+        ));
+    }
+
     #[test]
     fn every_corruption_class_is_rejected() {
-        let p = rich_program();
+        // Corpus: a plain program (sites for every structural class) and a
+        // precomposed one (sites for the provenance classes).
+        let corpus = [rich_program(), precomposed_program()];
         assert!(mutate::ALL.len() >= 10, "need at least 10 mutation classes");
         for &class in &mutate::ALL {
+            let mut sites = 0usize;
+            for p in &corpus {
+                for seed in 0..8u64 {
+                    let Some(mutant) = mutate::corrupt(p, class, seed) else {
+                        continue;
+                    };
+                    sites += 1;
+                    let verdict = verify_program(&mutant);
+                    assert!(
+                        verdict.is_err(),
+                        "{class:?} (seed {seed}) survived verification"
+                    );
+                }
+            }
+            assert!(sites > 0, "{class:?} found no site in the corpus");
+        }
+    }
+
+    /// A 5-qubit program whose derived plan has two supergroups with
+    /// disjoint wire bases — sites for every plan corruption class.
+    fn wide_program() -> FusedProgram {
+        let mut b = ProgramBuilder::new(5);
+        b.cx(0, 1);
+        b.depolarize_2q(0.04, 0, 1);
+        b.unitary_1q(2, GateKind::Ry.matrix(0.4).to_2x2().unwrap());
+        b.cx(3, 4);
+        b.depolarize_2q(0.04, 3, 4);
+        b.finish()
+    }
+
+    #[test]
+    fn every_plan_corruption_class_is_rejected() {
+        let p = wide_program();
+        assert!(
+            supergroup_plan(&p).len() >= 2,
+            "wide program must span at least two supergroups"
+        );
+        for &class in &mutate::PLAN_ALL {
             for seed in 0..8u64 {
-                let mutant = mutate::corrupt(&p, class, seed)
-                    .unwrap_or_else(|| panic!("{class:?} found no site in the rich program"));
-                let verdict = verify_program(&mutant);
+                let plan = mutate::corrupt_plan(&p, class, seed)
+                    .unwrap_or_else(|| panic!("{class:?} found no site in the wide program"));
                 assert!(
-                    verdict.is_err(),
-                    "{class:?} (seed {seed}) survived verification"
+                    verify_supergroup_plan(&p, &plan).is_err(),
+                    "{class:?} (seed {seed}) survived plan verification"
                 );
             }
         }

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use quasim::fused::{FusedProgram, ProgramBuilder};
 use quasim::gate::GateKind;
 use quasim::trajectory::{
-    estimate_prob_one, estimate_prob_one_panel, TrajectoryPanel, TrajectoryWorkspace,
+    estimate_prob_one, estimate_prob_one_panel, KernelMode, TrajectoryPanel, TrajectoryWorkspace,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -183,6 +183,79 @@ proptest! {
                 "width {} qubit {}: {} vs {}",
                 width, q, got.p_one[q], reference.p_one[q]
             );
+        }
+    }
+
+    /// The AVX2 kernels are a bit-exact drop-in for the scalar oracle: on
+    /// hosts with AVX2, running the same program over the same draw
+    /// sequence under both dispatch modes yields bitwise-equal panels at
+    /// every width (the intrinsics use only mul/add/sub in the scalar
+    /// association order, so this holds exactly, not approximately).
+    #[test]
+    fn scalar_and_avx2_panels_bit_identical(
+        specs in proptest::collection::vec(arb_atom(N_QUBITS), 1..25),
+        seed in any::<u64>(),
+        batch in 1usize..12,
+    ) {
+        if KernelMode::avx2_supported() {
+            let program = build_program(&specs);
+            let n_stoch = program.n_stochastic_atoms();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let uniforms: Vec<f64> = (0..batch * n_stoch).map(|_| rng.gen()).collect();
+
+            let mut scalar = TrajectoryPanel::new();
+            scalar.set_kernel_mode(KernelMode::Scalar);
+            scalar.reset_zero(N_QUBITS, batch);
+            scalar.run_stochastic(&program, &uniforms);
+
+            let mut avx2 = TrajectoryPanel::new();
+            avx2.set_kernel_mode(KernelMode::Avx2);
+            avx2.reset_zero(N_QUBITS, batch);
+            avx2.run_stochastic(&program, &uniforms);
+
+            for c in 0..batch {
+                let (s, v) = (scalar.column(c), avx2.column(c));
+                for (i, (a, b)) in s.iter().zip(v.iter()).enumerate() {
+                    prop_assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "column {} amplitude {}: scalar {} vs avx2 {}", c, i, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ragged final chunks: the widths the audit singled out — 1 (fully
+    /// sequential), 3 (never divides a power-of-two budget), 16 (the auto
+    /// cap), and `n_traj + 1` (one chunk wider than the budget) — all
+    /// reproduce the per-trajectory estimate bit for bit, including the
+    /// short remainder chunk's draw-stream alignment.
+    #[test]
+    fn ragged_final_chunks_bit_identical(
+        specs in proptest::collection::vec(arb_atom(N_QUBITS), 1..25),
+        seed in any::<u64>(),
+        n_traj in 1u32..40,
+    ) {
+        let program = build_program(&specs);
+        let qubits: Vec<usize> = (0..N_QUBITS).collect();
+        let mut ws = TrajectoryWorkspace::new();
+        let reference = estimate_prob_one(&mut ws, &program, &qubits, n_traj, seed);
+        for width in [1usize, 3, 16, n_traj as usize + 1] {
+            let mut panel = TrajectoryPanel::new();
+            let got = estimate_prob_one_panel(&mut panel, &program, &qubits, n_traj, seed, width);
+            prop_assert_eq!(got.n_trajectories, reference.n_trajectories);
+            for q in 0..N_QUBITS {
+                prop_assert!(
+                    got.p_one[q].to_bits() == reference.p_one[q].to_bits(),
+                    "width {} qubit {} p_one: {} vs {}",
+                    width, q, got.p_one[q], reference.p_one[q]
+                );
+                prop_assert!(
+                    got.std_err[q].to_bits() == reference.std_err[q].to_bits(),
+                    "width {} qubit {} std_err: {} vs {}",
+                    width, q, got.std_err[q], reference.std_err[q]
+                );
+            }
         }
     }
 

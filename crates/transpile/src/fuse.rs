@@ -265,6 +265,29 @@ where
     builder.finish()
 }
 
+/// [`fuse_native_compacted`] followed by bind-time precomposition
+/// ([`FusedProgram::precompose`]): every run of consecutive same-support
+/// unitaries — a CRY expansion's rotation pair, a feature-encoding string
+/// — collapses into one prebound matrix, so each trajectory pass applies a
+/// single matrix where the density path applies several atoms.
+///
+/// This entry point is **trajectory-only** by design: composing matrices
+/// re-rounds the affected amplitudes, so the density path (whose
+/// fused-vs-unfused bit-identity is pinned by golden fixtures) keeps the
+/// plain [`fuse_native_compacted`] program, while the per-trajectory and
+/// panel engines both run the same precomposed program and therefore stay
+/// mutually bit-identical.
+pub fn fuse_native_trajectory<F>(
+    native: &NativeCircuit,
+    compaction: &QubitCompaction,
+    noise: F,
+) -> FusedProgram
+where
+    F: FnMut(&NativeOp) -> Option<f64>,
+{
+    fuse_native_compacted(native, compaction, noise).precompose()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +422,52 @@ mod tests {
         let program = fuse_ops(2, &ops);
         assert_eq!(program.segments().len(), 1);
         assert_eq!(program.n_atoms(), 2);
+    }
+
+    #[test]
+    fn trajectory_fusion_precomposes_rotation_runs() {
+        let mut c = Circuit::new(3);
+        c.ry(0, Param::Idx(0))
+            .rz(0, Param::Idx(1))
+            .ry(0, Param::Idx(2))
+            .cry(0, 1, Param::Idx(3))
+            .h(2);
+        let theta = [0.3, 1.1, -0.7, 2.2];
+        let topo = Topology::line(3);
+        let native = expand(&route_identity(&c, &topo), &theta);
+        let compaction = QubitCompaction::identity(topo.n_qubits());
+        let lambda_of =
+            |op: &crate::expand::NativeOp| -> Option<f64> { op.is_entangler().then_some(0.008) };
+
+        let plain = fuse_native_compacted(&native, &compaction, lambda_of);
+        let pre = fuse_native_trajectory(&native, &compaction, lambda_of);
+        assert!(pre.is_precomposed());
+        assert!(
+            pre.n_atoms() < plain.n_atoms(),
+            "precompose collapsed nothing: {} vs {} atoms",
+            pre.n_atoms(),
+            plain.n_atoms()
+        );
+        assert_eq!(pre.n_stochastic_atoms(), plain.n_stochastic_atoms());
+        assert_eq!(pre.segments().len(), plain.segments().len());
+
+        // Same quantum channel up to rounding: compare densities loosely.
+        let mut a = SimWorkspace::new();
+        a.reset_zero(topo.n_qubits());
+        a.run(&plain);
+        let mut b = SimWorkspace::new();
+        b.reset_zero(topo.n_qubits());
+        b.run(&pre);
+        let (da, db) = (a.to_density_matrix(), b.to_density_matrix());
+        for i in 0..da.dim() {
+            for j in 0..da.dim() {
+                let (x, y) = (da.get(i, j), db.get(i, j));
+                assert!(
+                    (x.re - y.re).abs() < 1e-12 && (x.im - y.im).abs() < 1e-12,
+                    "ρ[{i},{j}] diverged: {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! - [`fuse`]: the gate-fusion pass compiling native circuits (plus their
 //!   calibration-noise interleave) into prebound
 //!   [`quasim::fused::FusedProgram`]s, which the density-matrix kernels
-//!   execute in single passes — bit-identical to unfused execution;
+//!   execute in single passes — bit-identical to unfused execution; the
+//!   trajectory backends additionally precompose unitary runs at bind
+//!   time ([`fuse::fuse_native_trajectory`]);
 //! - [`template`]: compile-once/rebind-many circuit templates — the
 //!   structure-determined half of the pipeline (simplify + route) cached
 //!   per [`template::StructureKey`] and re-bound at fresh angles with a
@@ -53,7 +55,10 @@ pub mod verify;
 
 pub use circuit::{Circuit, Op, Param};
 pub use expand::{expand, NativeCircuit, NativeOp};
-pub use fuse::{fuse_gates, fuse_native, fuse_native_compacted, fuse_ops, QubitCompaction, SimOp};
+pub use fuse::{
+    fuse_gates, fuse_native, fuse_native_compacted, fuse_native_trajectory, fuse_ops,
+    QubitCompaction, SimOp,
+};
 pub use route::{route, route_identity, with_fixed_params, PhysicalCircuit};
 pub use template::{structure_key, CircuitTemplate, StructureKey};
 pub use verify::{verify_bound, verify_circuit, verify_physical, verify_template};

@@ -24,7 +24,12 @@
 //!
 //! `qnn::executor` builds a per-executor program cache on top of this:
 //! training loops and batch evaluation route+expand once per structure and
-//! rebind angles per sample / noise strengths per day.
+//! rebind angles per sample / noise strengths per day. Bind time is also
+//! where the trajectory backends precompose runs of consecutive
+//! same-support unitaries into single matrices
+//! ([`crate::fuse::fuse_native_trajectory`]) — a value-level optimisation
+//! that must happen after angles are bound, which is why it lives
+//! downstream of the template rather than in the cached structure.
 
 use crate::circuit::{angle_is_identity, Circuit};
 use crate::expand::{expand, NativeCircuit};

@@ -2,7 +2,9 @@
 //! physical circuits, and compile-once/rebind-many templates.
 //!
 //! The companion of `quasim::verify` for the front half of the pipeline.
-//! Where the fused-program verifier guards what the kernels execute, this
+//! Where the fused-program verifier guards what the kernels execute —
+//! including the bind-time precompose provenance of
+//! [`crate::fuse::fuse_native_trajectory`] output — this
 //! module guards what the compiler caches: a [`Circuit`] whose ops are
 //! well-formed, a [`PhysicalCircuit`] whose layouts are injective and whose
 //! two-qubit ops all sit on coupling edges, and — the check the rebind
