@@ -277,6 +277,143 @@ fn main() {
         });
     }
 
+    // Training path: one epoch of batched noisy finite-difference training
+    // on the 4-class MNIST model versus the retained sequential closure
+    // reference. The batched section is gated (it is the production
+    // training path, density + single-threaded like every gate); the
+    // sequential section documents the win and its trained weights must
+    // match the batched ones bit for bit.
+    eprintln!("[perf] training step sections ...");
+    {
+        let exp = experiments
+            .iter()
+            .find(|e| matches!(e.task, Task::Mnist4))
+            .expect("table1 includes mnist4");
+        let train_subset = &exp.dataset.train[..exp.dataset.train.len().min(16)];
+        let snap = &exp.history.online()[0];
+        let cfg = qnn::train::TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.08,
+            seed: 5,
+            grad_step: 1e-3,
+        };
+        let trainable = vec![true; exp.model.n_weights()];
+
+        let exec = NoisyExecutor::new(
+            &exp.model,
+            &exp.topology,
+            NoiseOptions {
+                backend: SimBackend::Density,
+                ..exp.noise
+            },
+        );
+        let env = qnn::train::Env::Noisy {
+            exec: &exec,
+            snapshot: snap,
+        };
+        let batched = report.time("train_step_mnist4", true, || {
+            qnn::train::train_masked_with_threads(
+                &exp.model,
+                train_subset,
+                env,
+                &cfg,
+                &exp.base_weights,
+                &trainable,
+                1,
+            )
+        });
+        let stats = exec.cache_stats();
+        let lookups = (stats.hits + stats.misses).max(1);
+        println!(
+            "train-step program cache: {} hits / {} misses ({:.1}% hit rate)",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hits as f64 / lookups as f64
+        );
+
+        let seq_exec = NoisyExecutor::new(
+            &exp.model,
+            &exp.topology,
+            NoiseOptions {
+                backend: SimBackend::Density,
+                ..exp.noise
+            },
+        );
+        let seq_env = qnn::train::Env::Noisy {
+            exec: &seq_exec,
+            snapshot: snap,
+        };
+        let sequential = report.time("train_step_mnist4_sequential", false, || {
+            qnn::train::train_masked_sequential(
+                &exp.model,
+                train_subset,
+                seq_env,
+                &cfg,
+                &exp.base_weights,
+                &trainable,
+            )
+        });
+        for (i, (a, b)) in batched
+            .weights
+            .iter()
+            .zip(sequential.weights.iter())
+            .enumerate()
+        {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "batched training diverged from the sequential reference at weight {i} \
+                 ({a} vs {b})"
+            );
+        }
+        {
+            let wall = |name: &str| report.section(name).expect("timed above").wall_ms;
+            println!(
+                "train-step (noisy fd, {} evals): sequential {:.1} ms, batched {:.1} ms -> {:.2}x",
+                batched.n_evals,
+                wall("train_step_mnist4_sequential"),
+                wall("train_step_mnist4"),
+                wall("train_step_mnist4_sequential") / wall("train_step_mnist4")
+            );
+        }
+
+        // The same step in the pure environment: the prefix-sharing probe
+        // engine versus full per-probe state-vector reruns (ungated — the
+        // pure path has no committed baseline section yet).
+        let pure_batched = report.time("train_step_mnist4_pure", false, || {
+            qnn::train::train_masked_with_threads(
+                &exp.model,
+                train_subset,
+                qnn::train::Env::Pure,
+                &cfg,
+                &exp.base_weights,
+                &trainable,
+                1,
+            )
+        });
+        let pure_sequential = report.time("train_step_mnist4_pure_sequential", false, || {
+            qnn::train::train_masked_sequential(
+                &exp.model,
+                train_subset,
+                qnn::train::Env::Pure,
+                &cfg,
+                &exp.base_weights,
+                &trainable,
+            )
+        });
+        assert_eq!(
+            pure_batched.weights, pure_sequential.weights,
+            "pure batched training diverged from the sequential reference"
+        );
+        let wall = |name: &str| report.section(name).expect("timed above").wall_ms;
+        println!(
+            "train-step (pure fd): sequential {:.1} ms, batched {:.1} ms -> {:.2}x",
+            wall("train_step_mnist4_pure_sequential"),
+            wall("train_step_mnist4_pure"),
+            wall("train_step_mnist4_pure_sequential") / wall("train_step_mnist4_pure")
+        );
+    }
+
     eprintln!("[perf] verifying 1/4/16-thread bit-identity ...");
     report.time("thread_invariance_check", false, || {
         verify_thread_invariance(&experiments[2]);

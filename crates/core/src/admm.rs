@@ -21,9 +21,11 @@ use crate::mask::{gate_associations, priorities, GateAssoc, SelectionRule};
 use calibration::snapshot::CalibrationSnapshot;
 use qnn::data::Sample;
 use qnn::executor::NoisyExecutor;
+use qnn::loss::cross_entropy;
 use qnn::model::VqcModel;
 use qnn::optim::Adam;
-use qnn::train::{batch_loss, train_spsa_masked, Env, SpsaConfig};
+use qnn::probe::pure_fd_probes;
+use qnn::train::{train_spsa_masked, Env, SpsaConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -203,18 +205,25 @@ pub fn compress(
 
             // Loss gradient by central differences (pure environment: the
             // paper's f is the training loss; noise enters via mask + the
-            // fine-tune below).
+            // fine-tune below). Probes of every θ coordinate run through
+            // the prefix-sharing engine — one sweep per sample instead of
+            // 2·P full state-vector runs, bit-identical sums.
             let mut grad = penalty_grad(&theta);
             n_evals += batch.len() as u64; // base loss bookkeeping
+            let slots: Vec<usize> = (0..theta.len()).collect();
+            let mut fp_sum = vec![0.0; theta.len()];
+            let mut fm_sum = vec![0.0; theta.len()];
+            for s in &batch {
+                let probes = pure_fd_probes(model, &s.features, &theta, config.grad_step, &slots);
+                for (t, (_, zp, zm)) in probes.shifted.iter().enumerate() {
+                    fp_sum[t] += cross_entropy(zp, s.label);
+                    fm_sum[t] += cross_entropy(zm, s.label);
+                }
+            }
+            let b = batch.len() as f64;
             for i in 0..theta.len() {
-                let orig = theta[i];
-                theta[i] = orig + config.grad_step;
-                let fp = batch_loss(model, Env::Pure, &batch, &theta);
-                theta[i] = orig - config.grad_step;
-                let fm = batch_loss(model, Env::Pure, &batch, &theta);
-                theta[i] = orig;
                 n_evals += 2 * batch.len() as u64;
-                grad[i] += (fp - fm) / (2.0 * config.grad_step);
+                grad[i] += (fp_sum[i] / b - fm_sum[i] / b) / (2.0 * config.grad_step);
             }
             opt.step(&mut theta, &grad);
         }

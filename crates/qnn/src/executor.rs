@@ -68,7 +68,8 @@ use calibration::topology::Topology;
 use quasim::density::{DensityMatrix, SimWorkspace, MAX_DENSITY_QUBITS};
 use quasim::statevector::StateVector;
 use quasim::trajectory::{
-    estimate_prob_one_panel, panel_width_from_env, TrajectoryEstimate, TrajectoryPanel,
+    estimate_prob_one_panel, estimate_prob_one_panel_multi, panel_width_from_env,
+    TrajectoryEstimate, TrajectoryPanel,
 };
 use std::collections::HashMap;
 use transpile::expand::{expand, NativeCircuit, NativeOp, ANGLE_TOL};
@@ -464,10 +465,55 @@ impl NoisyExecutor {
             return (entry.template.bind(full), entry.compaction.clone());
         }
         cache.stats.misses += 1;
-        let template =
-            CircuitTemplate::compile(self.model.circuit(), &self.topology, full, ANGLE_TOL);
+        let entry = Self::insert_structure(
+            cache,
+            self.model.circuit(),
+            &self.topology,
+            full,
+            key,
+            |native| self.compaction(native),
+        );
+        (entry.template.bind(full), entry.compaction)
+    }
+
+    /// The cached structure (template + compaction) of a parameter vector:
+    /// the group-level entry point of [`Self::evaluate_probes`], which
+    /// fetches one structure per probe *group* and re-binds it per probe
+    /// through [`CircuitTemplate::bind_batch`]. Counts one cache hit or
+    /// miss per call — i.e. per structure group, not per probe.
+    fn structure_at(&self, full: &[f64]) -> CachedStructure {
+        let key = structure_key(self.model.circuit(), full, ANGLE_TOL);
+        let mut cache = self.cache.borrow_mut();
+        let cache = &mut *cache;
+        if let Some(entry) = cache.entries.get(&key) {
+            cache.stats.hits += 1;
+            return entry.clone();
+        }
+        cache.stats.misses += 1;
+        Self::insert_structure(
+            cache,
+            self.model.circuit(),
+            &self.topology,
+            full,
+            key,
+            |native| self.compaction(native),
+        )
+    }
+
+    /// Compiles `full`'s structure and inserts it into the cache (shared
+    /// miss path of [`Self::native_at`] and [`Self::structure_at`]),
+    /// returning the freshly cached entry.
+    fn insert_structure(
+        cache: &mut ProgramCache,
+        circuit: &transpile::circuit::Circuit,
+        topology: &Topology,
+        full: &[f64],
+        key: StructureKey,
+        compaction_of: impl Fn(&NativeCircuit) -> QubitCompaction,
+    ) -> CachedStructure {
+        let template = CircuitTemplate::compile(circuit, topology, full, ANGLE_TOL);
         let native = template.bind(full);
-        let compaction = self.compaction(&native);
+        let compaction = compaction_of(&native);
         if cache.entries.len() >= MAX_CACHED_STRUCTURES {
             // Generational eviction: drop the whole generation at once so
             // hot keys re-warm immediately (never evict-on-hit).
@@ -478,18 +524,16 @@ impl NoisyExecutor {
             cache.entries.len() < MAX_CACHED_STRUCTURES,
             "program cache insert would exceed the {MAX_CACHED_STRUCTURES}-entry cap"
         );
-        let evicted = cache.entries.insert(
-            key,
-            CachedStructure {
-                template,
-                compaction: compaction.clone(),
-            },
-        );
+        let entry = CachedStructure {
+            template,
+            compaction,
+        };
+        let evicted = cache.entries.insert(key, entry.clone());
         debug_assert!(
             evicted.is_none(),
             "program cache miss raced an existing entry for the same key"
         );
-        (native, compaction)
+        entry
     }
 
     /// Hit/miss counters of the program cache (per executor clone).
@@ -663,6 +707,29 @@ impl NoisyExecutor {
         // reusable per-executor workspace — the whole simulation allocates
         // nothing beyond the program itself.
         let (native, compaction, program) = self.compile(features, weights, snapshot);
+        self.run_compiled(
+            &native,
+            &compaction,
+            &program,
+            snapshot,
+            shot_rng,
+            traj_seed,
+        )
+    }
+
+    /// Simulates one compiled program and post-processes the probabilities
+    /// into Z scores — the execution half of [`Self::z_scores_impl`],
+    /// shared with the probe-batch engine so the batched and sequential
+    /// paths can never drift apart.
+    fn run_compiled(
+        &self,
+        native: &NativeCircuit,
+        compaction: &QubitCompaction,
+        program: &quasim::fused::FusedProgram,
+        snapshot: &CalibrationSnapshot,
+        shot_rng: &mut rand::rngs::StdRng,
+        traj_seed: u64,
+    ) -> Vec<f64> {
         match self.options.backend {
             SimBackend::Density => {
                 assert!(
@@ -674,14 +741,14 @@ impl NoisyExecutor {
                 );
                 let mut ws = self.workspace.borrow_mut();
                 ws.reset_zero(compaction.n_active());
-                ws.run(&program);
-                self.scores_from_probs(&native, snapshot, shot_rng, |q| {
+                ws.run(program);
+                self.scores_from_probs(native, snapshot, shot_rng, |q| {
                     ws.prob_one(compaction.compact(q))
                 })
             }
             SimBackend::Trajectory => {
-                let est = self.run_trajectories(&native, &compaction, &program, traj_seed);
-                self.scores_from_probs(&native, snapshot, shot_rng, |q| {
+                let est = self.run_trajectories(native, compaction, program, traj_seed);
+                self.scores_from_probs(native, snapshot, shot_rng, |q| {
                     est.p_one_of(compaction.compact(q))
                 })
             }
@@ -779,6 +846,239 @@ impl NoisyExecutor {
         let full = self.model.full_params(features, weights);
         self.native_at(&full).0.length()
     }
+
+    /// Evaluates a whole [`ProbeBatch`] — the batched gradient engine.
+    ///
+    /// Probes are grouped by [`StructureKey`]; each group routes/simplifies
+    /// **once** through the program cache ([`Self::cache_stats`] counts one
+    /// hit or miss per group) and re-binds per probe via
+    /// [`CircuitTemplate::bind_batch`] (linear expansion only). The density
+    /// backend then simulates each probe on the executor's reusable
+    /// [`SimWorkspace`] (one workspace per worker thread); the trajectory
+    /// backend packs probes that bind to bitwise-identical parameter
+    /// vectors into shared [`TrajectoryPanel`] sweeps
+    /// ([`quasim::trajectory::estimate_prob_one_panel_multi`]). With
+    /// `threads > 1` contiguous probe chunks fan out over scoped threads,
+    /// one executor clone (and so one workspace/panel) per worker.
+    ///
+    /// **Bit-identity contract**: element `i` of the result equals
+    /// [`Self::z_scores_seeded`]`(probes[i].features, probes[i].weights,
+    /// snapshot, probes[i].stream)` exactly — for either backend, any
+    /// `threads`, any panel width, and any cache warmth. The training
+    /// loops in [`crate::train`] rely on this to stay bit-identical to
+    /// their retained sequential references (see the `training_path`
+    /// property tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Self::z_scores_seeded`].
+    pub fn evaluate_probes(
+        &self,
+        snapshot: &CalibrationSnapshot,
+        batch: &ProbeBatch<'_>,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let probes = batch.probes();
+        if threads <= 1 || probes.len() <= 1 {
+            return self.evaluate_probes_sequential(snapshot, probes);
+        }
+        // Contiguous probe chunks, one per worker, mirroring
+        // `parallel::batch_z_scores`: results are keyed by probe index and
+        // every probe's noise comes from its own stream, so the fan-out
+        // cannot change bits.
+        let chunk = probes.len().div_ceil(threads);
+        let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for part in probes.chunks(chunk) {
+                let exec = self.clone();
+                handles.push(scope.spawn(move || exec.evaluate_probes_sequential(snapshot, part)));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("probe evaluation worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Single-threaded core of [`Self::evaluate_probes`]: group by
+    /// structure, compile once per group, evaluate probes in input order
+    /// within each group.
+    fn evaluate_probes_sequential(
+        &self,
+        snapshot: &CalibrationSnapshot,
+        probes: &[ProbeRequest<'_>],
+    ) -> Vec<Vec<f64>> {
+        use rand::SeedableRng;
+        assert_eq!(
+            snapshot.n_qubits(),
+            self.topology.n_qubits(),
+            "snapshot does not match device"
+        );
+        let fulls: Vec<Vec<f64>> = probes
+            .iter()
+            .map(|p| self.model.full_params(p.features, p.weights))
+            .collect();
+        // Group probe indices by structure key in first-appearance order.
+        let mut group_of: HashMap<StructureKey, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, full) in fulls.iter().enumerate() {
+            let key = structure_key(self.model.circuit(), full, ANGLE_TOL);
+            let g = *group_of.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); probes.len()];
+        for idxs in &groups {
+            let entry = self.structure_at(&fulls[idxs[0]]);
+            match self.options.backend {
+                SimBackend::Density => {
+                    let thetas: Vec<&[f64]> = idxs.iter().map(|&i| fulls[i].as_slice()).collect();
+                    let natives =
+                        entry
+                            .template
+                            .bind_batch(self.model.circuit(), &thetas, ANGLE_TOL);
+                    for (&i, native) in idxs.iter().zip(natives.iter()) {
+                        let program = fuse_native_compacted(native, &entry.compaction, |op| {
+                            self.op_lambda(op, snapshot)
+                        });
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(mix_stream(
+                            self.options.shot_seed,
+                            probes[i].stream,
+                        ));
+                        out[i] = self.run_compiled(
+                            native,
+                            &entry.compaction,
+                            &program,
+                            snapshot,
+                            &mut rng,
+                            0,
+                        );
+                    }
+                }
+                SimBackend::Trajectory => {
+                    // Probes whose parameter vectors are bitwise identical
+                    // compile (deterministically) to the same program, so
+                    // consecutive runs of them share one bind + fuse and
+                    // one multi-probe panel call; each probe still owns
+                    // its trajectory stream.
+                    let mut j = 0;
+                    while j < idxs.len() {
+                        let i0 = idxs[j];
+                        let mut k = j + 1;
+                        while k < idxs.len() && bits_equal(&fulls[idxs[k]], &fulls[i0]) {
+                            k += 1;
+                        }
+                        let native = entry.template.bind(&fulls[i0]);
+                        let program = fuse_native_trajectory(&native, &entry.compaction, |op| {
+                            self.op_lambda(op, snapshot)
+                        });
+                        let measured = self.measured_compact(&native, &entry.compaction);
+                        let width =
+                            panel_width_from_env(program.n_qubits(), self.options.trajectories);
+                        let seeds: Vec<u64> = idxs[j..k]
+                            .iter()
+                            .map(|&i| self.traj_seed(probes[i].stream))
+                            .collect();
+                        let ests = {
+                            let mut panel = self.traj_panel.borrow_mut();
+                            estimate_prob_one_panel_multi(
+                                &mut panel,
+                                &program,
+                                &measured,
+                                self.options.trajectories,
+                                &seeds,
+                                width,
+                            )
+                        };
+                        for (&i, est) in idxs[j..k].iter().zip(ests.iter()) {
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(mix_stream(
+                                self.options.shot_seed,
+                                probes[i].stream,
+                            ));
+                            out[i] = self.scores_from_probs(&native, snapshot, &mut rng, |q| {
+                                est.p_one_of(entry.compaction.compact(q))
+                            });
+                        }
+                        j = k;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One probe of a [`ProbeBatch`]: an independent seeded evaluation of the
+/// model at `(features, weights)` whose shot and trajectory noise come
+/// from `stream` — the same stream id [`NoisyExecutor::z_scores_seeded`]
+/// takes, so a probe names exactly one reproducible evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeRequest<'a> {
+    /// Encoded sample features.
+    pub features: &'a [f64],
+    /// Weight vector to evaluate (base, shifted, or perturbed).
+    pub weights: &'a [f64],
+    /// Seeded noise stream id (see [`NoisyExecutor::z_scores_seeded`]).
+    pub stream: u64,
+}
+
+/// An ordered batch of evaluation probes for
+/// [`NoisyExecutor::evaluate_probes`] — one gradient step's worth of
+/// parameter-shift / finite-difference / SPSA evaluations collected so the
+/// executor can group them by circuit structure and evaluate each group in
+/// one pass.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeBatch<'a> {
+    probes: Vec<ProbeRequest<'a>>,
+}
+
+impl<'a> ProbeBatch<'a> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ProbeBatch::default()
+    }
+
+    /// An empty batch with room for `n` probes.
+    pub fn with_capacity(n: usize) -> Self {
+        ProbeBatch {
+            probes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one probe; results come back in push order.
+    pub fn push(&mut self, features: &'a [f64], weights: &'a [f64], stream: u64) {
+        self.probes.push(ProbeRequest {
+            features,
+            weights,
+            stream,
+        });
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the batch holds no probe.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// The probes in push order.
+    pub fn probes(&self) -> &[ProbeRequest<'a>] {
+        &self.probes
+    }
+}
+
+/// Bitwise slice equality (`f64::to_bits`), the comparison the trajectory
+/// probe packing uses to decide two probes compile to the same program —
+/// value equality would conflate `±0.0`, whose compiled programs can
+/// differ in zero signs.
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 /// SplitMix64-style finalizer combining a base seed with a stream id into
@@ -853,6 +1153,20 @@ pub mod parallel {
         day_stream
             .wrapping_mul(0x2545_F491_4F6C_DD1D)
             .wrapping_add(sample_index)
+    }
+
+    /// Derives the stream base of one training probe from its position:
+    /// the day-level stream, the global step index, and the probe slot
+    /// within the step (0 = base loss; finite differences use `1 + 2i` /
+    /// `2 + 2i` for the ±shift of weight `i`; SPSA uses 1 / 2 for its ±
+    /// perturbations). Combine with [`eval_stream`] per batch sample.
+    ///
+    /// Purely positional — no shared counter — so batched and sequential
+    /// gradient evaluations assign every probe the identical stream
+    /// regardless of evaluation order, which is what makes the training
+    /// loops' bit-identity contract hold across thread counts.
+    pub fn probe_stream(day_stream: u64, step: u64, slot: u64) -> u64 {
+        super::mix_stream(super::mix_stream(day_stream, step), slot)
     }
 
     /// Per-sample `⟨Z⟩` scores of `samples` under `snapshot`, fanned over
@@ -1180,6 +1494,98 @@ mod tests {
             }
         }
         assert_eq!(exec.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn probe_batch_matches_seeded_evaluations_bitwise() {
+        // Density with shots: every probe must reproduce its standalone
+        // seeded evaluation exactly, across structures and thread counts.
+        let model = VqcModel::paper_model(4, 4, 4, 1);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(1024, 17));
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let features = [0.4, 0.9, 1.3, 0.2];
+        let base = model.init_weights(5);
+        let mut compressed = base.clone();
+        compressed[2] = 0.0; // second structure: identity-crossing probe
+        let mut batch = ProbeBatch::new();
+        for (s, w) in [&base, &compressed, &base, &base, &compressed]
+            .iter()
+            .enumerate()
+        {
+            batch.push(&features, w, s as u64);
+        }
+        let want: Vec<Vec<f64>> = batch
+            .probes()
+            .iter()
+            .map(|p| exec.z_scores_seeded(p.features, p.weights, &snap, p.stream))
+            .collect();
+        for threads in [1usize, 3] {
+            let got = exec.evaluate_probes(&snap, &batch, threads);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                for (a, b) in g.iter().zip(w.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_batch_trajectory_packing_matches_seeded_evaluations() {
+        // Trajectory backend: repeated identical weight vectors ride shared
+        // panel sweeps yet reproduce their standalone evaluations exactly.
+        let model = VqcModel::paper_model(4, 4, 4, 1);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(
+            &model,
+            &topo,
+            NoiseOptions {
+                backend: SimBackend::Trajectory,
+                trajectories: 24,
+                ..NoiseOptions::with_shots(512, 9)
+            },
+        );
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let features = [0.4, 0.9, 1.3, 0.2];
+        let w_a = model.init_weights(5);
+        let w_b = model.init_weights(6);
+        let mut batch = ProbeBatch::with_capacity(6);
+        // Two packed runs (same weights, distinct streams) plus a lone probe.
+        for (s, w) in [&w_a, &w_a, &w_a, &w_b, &w_b, &w_a].iter().enumerate() {
+            batch.push(&features, w, 100 + s as u64);
+        }
+        let got = exec.evaluate_probes(&snap, &batch, 1);
+        for (p, g) in batch.probes().iter().zip(got.iter()) {
+            let want = exec.z_scores_seeded(p.features, p.weights, &snap, p.stream);
+            for (a, b) in g.iter().zip(want.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn probe_batch_counts_cache_traffic_per_group() {
+        let (model, topo, exec) = setup();
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 2e-3, 3e-2, 0.02);
+        let features = [0.4, 0.9, 1.3, 0.2];
+        let base = model.init_weights(5);
+        let mut compressed = base.clone();
+        compressed[0] = 0.0;
+        let mut batch = ProbeBatch::new();
+        for (s, w) in [&base, &compressed, &base, &base].iter().enumerate() {
+            batch.push(&features, w, s as u64);
+        }
+        let _ = exec.evaluate_probes(&snap, &batch, 1);
+        let stats = exec.cache_stats();
+        // One miss per structure group; re-binds within a group are not
+        // separate lookups.
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+        let _ = exec.evaluate_probes(&snap, &batch, 1);
+        let stats = exec.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2, "warm batch: one hit per group");
     }
 
     #[test]

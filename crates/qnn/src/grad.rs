@@ -61,6 +61,59 @@ pub fn param_shift_gradient<F: Fn(&[f64]) -> f64>(f: &F, theta: &[f64]) -> Vec<f
     grad
 }
 
+/// Batched two-term parameter-shift gradient of a noisy scalar objective.
+///
+/// Semantically identical to [`param_shift_gradient`] over the closure
+/// `|w| objective(&exec.z_scores_seeded(features, w, snapshot, stream))`,
+/// but instead of `2·P` opaque executor round-trips it builds all `2·P`
+/// shifted weight vectors up front and routes them through
+/// [`NoisyExecutor::evaluate_probes`], which groups probes by circuit
+/// structure (one route/simplify per structure, bind-only per probe) and
+/// fans them across `threads` workers — or packs same-structure probes
+/// into shared trajectory panels on the trajectory backend.
+///
+/// `stream_for(i, plus)` supplies the seeded shot-noise stream for the
+/// `±π/2` probe of weight `i`. Because streams are assigned by *weight
+/// index and sign* rather than evaluation order, the result is
+/// bit-identical for any `threads`, either backend, and any panel width;
+/// the closure form [`param_shift_gradient`] serves as the sequential
+/// oracle for exactly that contract (see `tests/training_path.rs`).
+///
+/// Note there is no unshifted-loss evaluation to share or hoist: the
+/// shift rule only ever consumes the `2·P` shifted points.
+pub fn param_shift_gradient_batched<O, S>(
+    exec: &crate::executor::NoisyExecutor,
+    snapshot: &calibration::snapshot::CalibrationSnapshot,
+    features: &[f64],
+    weights: &[f64],
+    objective: O,
+    stream_for: S,
+    threads: usize,
+) -> Vec<f64>
+where
+    O: Fn(&[f64]) -> f64,
+    S: Fn(usize, bool) -> u64,
+{
+    let shift = std::f64::consts::FRAC_PI_2;
+    let n = weights.len();
+    let mut shifted: Vec<Vec<f64>> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        for sign in [shift, -shift] {
+            let mut w = weights.to_vec();
+            w[i] += sign;
+            shifted.push(w);
+        }
+    }
+    let mut batch = crate::executor::ProbeBatch::with_capacity(2 * n);
+    for (k, w) in shifted.iter().enumerate() {
+        batch.push(features, w, stream_for(k / 2, k.is_multiple_of(2)));
+    }
+    let scores = exec.evaluate_probes(snapshot, &batch, threads);
+    (0..n)
+        .map(|i| 0.5 * (objective(&scores[2 * i]) - objective(&scores[2 * i + 1])))
+        .collect()
+}
+
 /// Euclidean norm of a gradient vector.
 pub fn grad_norm(grad: &[f64]) -> f64 {
     grad.iter().map(|g| g * g).sum::<f64>().sqrt()
@@ -132,5 +185,45 @@ mod tests {
     fn fd_rejects_zero_step() {
         let f = |_: &[f64]| 0.0;
         let _ = finite_diff_gradient(&f, &[1.0], 0.0);
+    }
+
+    #[test]
+    fn batched_param_shift_matches_closure_oracle_bitwise() {
+        use crate::executor::{NoiseOptions, NoisyExecutor};
+        use calibration::snapshot::CalibrationSnapshot;
+        use calibration::topology::Topology;
+        use std::cell::Cell;
+
+        let model = VqcModel::paper_model(4, 3, 4, 1);
+        let topo = Topology::ibm_belem();
+        let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(256, 5));
+        let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 8e-3, 0.02);
+        let features = [0.3, 1.1, 0.7, 2.2];
+        let weights = model.init_weights(4);
+        let obj = |z: &[f64]| crate::loss::cross_entropy(z, 1);
+        let stream_for = |i: usize, plus: bool| 31 + 2 * i as u64 + u64::from(!plus);
+
+        // The closure oracle calls f in the fixed order (+0, −0, +1, −1, …),
+        // so a call counter recovers each evaluation's (weight, sign) and
+        // with it the stream the batched engine would assign.
+        let calls = Cell::new(0usize);
+        let oracle = |w: &[f64]| {
+            let k = calls.get();
+            calls.set(k + 1);
+            let z =
+                exec.z_scores_seeded(&features, w, &snap, stream_for(k / 2, k.is_multiple_of(2)));
+            obj(&z)
+        };
+        let want = param_shift_gradient(&oracle, &weights);
+
+        for threads in [1, 3] {
+            let got = param_shift_gradient_batched(
+                &exec, &snap, &features, &weights, obj, stream_for, threads,
+            );
+            assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad[{i}] threads={threads}");
+            }
+        }
     }
 }

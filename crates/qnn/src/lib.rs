@@ -52,11 +52,15 @@ pub mod grad;
 pub mod loss;
 pub mod model;
 pub mod optim;
+pub mod probe;
 pub mod train;
 
 pub use data::{Dataset, Sample};
-pub use executor::{pure_z_scores, NoiseOptions, NoisyExecutor};
+pub use executor::{pure_z_scores, NoiseOptions, NoisyExecutor, ProbeBatch, ProbeRequest};
 pub use model::VqcModel;
+pub use probe::{pure_fd_probes, PureProbes};
 pub use train::{
-    evaluate, train, train_masked, train_spsa_masked, Env, SpsaConfig, TrainConfig, TrainResult,
+    evaluate, train, train_masked, train_masked_sequential, train_masked_with_threads,
+    train_spsa_masked, train_spsa_masked_sequential, train_spsa_masked_with_threads, Env,
+    SpsaConfig, TrainConfig, TrainResult,
 };

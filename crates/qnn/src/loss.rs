@@ -41,6 +41,28 @@ pub fn cross_entropy(z_scores: &[f64], label: usize) -> f64 {
     -(probs[label].max(1e-12)).ln()
 }
 
+/// Mean cross-entropy over a batch of already-evaluated Z-score vectors.
+///
+/// Sums per-sample losses in slice order before the single division, so a
+/// batched evaluation that produces the same scores as a sequential loop
+/// yields the bit-identical loss — [`crate::train::batch_loss`] and the
+/// probe-batched training paths both reduce through this function.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, the batch is empty, or a label
+/// is out of range.
+pub fn mean_cross_entropy(scores: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    assert!(!scores.is_empty(), "empty batch");
+    let total: f64 = scores
+        .iter()
+        .zip(labels)
+        .map(|(z, &label)| cross_entropy(z, label))
+        .sum();
+    total / scores.len() as f64
+}
+
 /// Gradient of [`cross_entropy`] with respect to the *Z scores*
 /// (`∂L/∂z_k = −(p_k − 1{k=label})`, the extra minus from the logit flip).
 ///

@@ -2160,6 +2160,110 @@ pub fn estimate_prob_one_panel(
     finish_estimate(qubits, sum, sum_sq, n)
 }
 
+/// Multi-probe counterpart of [`estimate_prob_one_panel`]: evaluates one
+/// compiled program under several independent trajectory streams (one
+/// `seed` per probe) while sharing a single [`TrajectoryPanel`] across all
+/// of them.
+///
+/// This is the trajectory half of the batched gradient engine in
+/// `qnn::executor`: shift/SPSA probes that bind to the **same** compiled
+/// program (bitwise-equal parameter vectors under one snapshot) differ
+/// only in their noise streams, so their trajectories can ride the same
+/// panel sweeps. Probe `p`'s trajectories occupy the global column range
+/// `p·N .. (p+1)·N`; a chunk of up to `panel_width` columns may therefore
+/// span probe boundaries, which fills the panel where per-probe chunking
+/// would run partial tail chunks.
+///
+/// **Bit-identity**: element `p` of the result equals
+/// `estimate_prob_one_panel(panel, program, qubits, n_trajectories,
+/// seeds[p], panel_width)` exactly, for every width. Each probe's uniforms
+/// are drawn from its own `StdRng` in trajectory-major order (a column
+/// consumes exactly the draws its trajectory would consume standalone),
+/// each column's amplitude arithmetic is independent of its neighbours,
+/// and each probe's `P(1)` accumulation visits its trajectories in
+/// increasing trajectory order regardless of where chunk boundaries fall.
+/// Deterministic programs short-circuit to one exact pass shared by every
+/// probe — the single-probe entry never consumes a uniform there, so its
+/// result is seed-independent and the sharing is exact.
+///
+/// # Panics
+///
+/// As [`estimate_prob_one_panel`].
+pub fn estimate_prob_one_panel_multi(
+    panel: &mut TrajectoryPanel,
+    program: &FusedProgram,
+    qubits: &[usize],
+    n_trajectories: u32,
+    seeds: &[u64],
+    panel_width: usize,
+) -> Vec<TrajectoryEstimate> {
+    assert!(n_trajectories > 0, "need at least one trajectory");
+    assert!(panel_width > 0, "panel width must be positive");
+    for &q in qubits {
+        assert!(q < program.n_qubits(), "qubit {q} out of range");
+    }
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    if program.is_deterministic() {
+        let est = estimate_prob_one_panel(
+            panel,
+            program,
+            qubits,
+            n_trajectories,
+            seeds[0],
+            panel_width,
+        );
+        return vec![est; seeds.len()];
+    }
+    let n = n_trajectories as usize;
+    let n_stoch = program.n_stochastic_atoms();
+    let width = panel_width.min(MAX_PANEL_WIDTH);
+    let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+    let nq = qubits.len();
+    let mut sum = vec![0.0f64; seeds.len() * nq];
+    let mut sum_sq = vec![0.0f64; seeds.len() * nq];
+    let total = seeds.len() * n;
+    let mut owners: Vec<usize> = Vec::with_capacity(width);
+    let mut start = 0usize;
+    while start < total {
+        let b = width.min(total - start);
+        let mut uniforms = std::mem::take(&mut panel.uniforms);
+        uniforms.clear();
+        owners.clear();
+        for c in 0..b {
+            // Column `start + c` is trajectory `(start + c) % n` of probe
+            // `(start + c) / n`; its uniforms come from that probe's RNG,
+            // which is thereby consumed in trajectory-major order.
+            let p = (start + c) / n;
+            owners.push(p);
+            uniforms.extend((0..n_stoch).map(|_| rngs[p].gen::<f64>()));
+        }
+        panel.reset_zero(program.n_qubits(), b);
+        panel.run_stochastic(program, &uniforms);
+        panel.uniforms = uniforms;
+        let probs = panel.probs_one_all();
+        for (c, &p) in owners.iter().enumerate() {
+            for (i, &q) in qubits.iter().enumerate() {
+                let v = probs[q * b + c];
+                sum[p * nq + i] += v;
+                sum_sq[p * nq + i] += v * v;
+            }
+        }
+        start += b;
+    }
+    (0..seeds.len())
+        .map(|p| {
+            finish_estimate(
+                qubits,
+                sum[p * nq..(p + 1) * nq].to_vec(),
+                sum_sq[p * nq..(p + 1) * nq].to_vec(),
+                n_trajectories,
+            )
+        })
+        .collect()
+}
+
 /// Per-qubit `P(1)` estimate from a batch of trajectories, with the
 /// standard error the cross-backend consistency harness derives its
 /// confidence bound from.
@@ -2574,6 +2678,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multi_probe_panel_matches_per_probe_panel_bitwise() {
+        let program = noisy_test_program();
+        let seeds = [11u64, 12, 13, 14, 15];
+        let mut panel = TrajectoryPanel::new();
+        // Widths that divide the per-probe count, exceed it (chunks span
+        // probe boundaries), and leave ragged tails.
+        for width in [1usize, 5, 7, 24, 64, 200] {
+            let got =
+                estimate_prob_one_panel_multi(&mut panel, &program, &[0, 1, 2], 24, &seeds, width);
+            assert_eq!(got.len(), seeds.len());
+            for (p, &seed) in seeds.iter().enumerate() {
+                let mut solo = TrajectoryPanel::new();
+                let want =
+                    estimate_prob_one_panel(&mut solo, &program, &[0, 1, 2], 24, seed, width);
+                assert_eq!(got[p].n_trajectories, want.n_trajectories);
+                for i in 0..3 {
+                    assert_eq!(
+                        got[p].p_one[i].to_bits(),
+                        want.p_one[i].to_bits(),
+                        "width {width} probe {p} qubit {i} p_one"
+                    );
+                    assert_eq!(
+                        got[p].std_err[i].to_bits(),
+                        want.std_err[i].to_bits(),
+                        "width {width} probe {p} qubit {i} std_err"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_probe_panel_shares_deterministic_pass() {
+        let mut b = ProgramBuilder::new(2);
+        b.unitary_1q(0, GateKind::H.entries_1q(0.0).unwrap());
+        b.cx(0, 1);
+        let program = b.finish();
+        let mut panel = TrajectoryPanel::new();
+        let ests = estimate_prob_one_panel_multi(&mut panel, &program, &[0, 1], 64, &[3, 9], 16);
+        assert_eq!(ests.len(), 2);
+        for est in &ests {
+            assert_eq!(est.n_trajectories, 1);
+            let want = estimate_prob_one_panel(&mut panel, &program, &[0, 1], 64, 999, 16);
+            for i in 0..2 {
+                assert_eq!(est.p_one[i].to_bits(), want.p_one[i].to_bits());
+            }
+        }
+        assert!(estimate_prob_one_panel_multi(&mut panel, &program, &[0], 8, &[], 4).is_empty());
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Training-path bit-identity harness: the batched probe engine behind
+//! `train_masked` / `train_spsa_masked` / `param_shift_gradient_batched`
+//! must reproduce the retained sequential closure references **bit for
+//! bit** — across random angle mixes (including probes that cross
+//! identity/quarter-turn boundaries and therefore re-key the program
+//! cache), calibration days, both device topologies, both simulation
+//! backends, and every worker-thread count.
+//!
+//! The CI integration matrix re-runs this file under `QUCAD_BACKEND`,
+//! `QUCAD_THREADS`, `QUCAD_TRAJ_BATCH`, and `QUCAD_FORCE_SCALAR`
+//! combinations, which extends the coverage to the env-selected backend
+//! and every trajectory panel width without any env mutation here.
+
+use calibration::snapshot::CalibrationSnapshot;
+use calibration::topology::Topology;
+use proptest::prelude::*;
+use qnn::executor::{parallel, NoiseOptions, NoisyExecutor, ProbeBatch, SimBackend};
+use qnn::grad::{param_shift_gradient, param_shift_gradient_batched};
+use qnn::model::VqcModel;
+use qnn::train::{
+    train_masked_sequential, train_masked_with_threads, train_spsa_masked_sequential,
+    train_spsa_masked_with_threads, Env, SpsaConfig, TrainConfig,
+};
+use qnn::Dataset;
+use std::cell::Cell;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+
+/// Angle vectors mixing generic values with the exact compression levels
+/// (0, π/2, π, 3π/2) whose angle classes drive the structure key — a
+/// `±π/2` parameter-shift probe of a level-valued weight crosses into a
+/// different key and must be compiled through the cache-miss path.
+fn arb_angles(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            Just(FRAC_PI_2),
+            Just(PI),
+            Just(3.0 * FRAC_PI_2),
+            Just(TAU),
+            -6.0f64..6.0,
+        ],
+        len,
+    )
+}
+
+fn arb_day() -> impl Strategy<Value = (u64, f64, f64, f64)> {
+    (0u64..1000, 0.0f64..4e-3, 0.0f64..5e-2, 0.0f64..0.05)
+}
+
+fn topologies() -> Vec<Topology> {
+    vec![Topology::ibm_belem(), Topology::ibm_jakarta()]
+}
+
+fn backends() -> Vec<(SimBackend, u32)> {
+    vec![(SimBackend::Density, 0), (SimBackend::Trajectory, 16)]
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batched parameter-shift gradients equal the sequential closure
+    /// oracle bit-exactly: random angles (identity-crossing shifts
+    /// included) × days × {belem, jakarta} × {density, trajectory} ×
+    /// threads {1, 4, 16}.
+    #[test]
+    fn batched_param_shift_matches_closure_oracle(
+        features in arb_angles(4),
+        weights in arb_angles(40),
+        day in arb_day(),
+    ) {
+        let (day_seed, e1, e2, er) = day;
+        for topo in topologies() {
+            for (backend, trajectories) in backends() {
+                let model = VqcModel::paper_model(4, 3, 4, 1);
+                let weights = &weights[..model.n_weights()];
+                let options = NoiseOptions {
+                    backend,
+                    trajectories,
+                    ..NoiseOptions::with_shots(256, 13)
+                };
+                let exec = NoisyExecutor::new(&model, &topo, options);
+                let snap =
+                    CalibrationSnapshot::uniform(&topo, day_seed as usize, e1, e2, er);
+                let obj = |z: &[f64]| qnn::loss::cross_entropy(z, 1);
+                let stream_for =
+                    |i: usize, plus: bool| 1000 * day_seed + 2 * i as u64 + u64::from(!plus);
+
+                // The closure oracle evaluates probes in the fixed order
+                // (+0, −0, +1, −1, …); a call counter recovers each call's
+                // (weight, sign) and with it the positional stream.
+                let calls = Cell::new(0usize);
+                let oracle = |w: &[f64]| {
+                    let k = calls.get();
+                    calls.set(k + 1);
+                    let z = exec.z_scores_seeded(
+                        &features, w, &snap, stream_for(k / 2, k.is_multiple_of(2)));
+                    obj(&z)
+                };
+                let want = param_shift_gradient(&oracle, weights);
+
+                for threads in THREAD_COUNTS {
+                    let got = param_shift_gradient_batched(
+                        &exec, &snap, &features, weights, obj, stream_for, threads,
+                    );
+                    for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
+                        prop_assert!(
+                            a.to_bits() == b.to_bits(),
+                            "grad[{i}] {a} vs {b} (threads={threads}, backend={backend:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `evaluate_probes` output element `i` equals an individual
+    /// `z_scores_seeded` call for probe `i`, for any thread count and
+    /// probe mix.
+    #[test]
+    fn probe_batch_matches_individual_seeded_evaluations(
+        features in arb_angles(4),
+        probes in proptest::collection::vec((arb_angles(40), 0u64..1_000_000), 1..8),
+        day in arb_day(),
+    ) {
+        let (day_seed, e1, e2, er) = day;
+        for (backend, trajectories) in backends() {
+            let model = VqcModel::paper_model(4, 3, 4, 1);
+            let topo = Topology::ibm_belem();
+            let options = NoiseOptions {
+                backend,
+                trajectories,
+                ..NoiseOptions::with_shots(512, 3)
+            };
+            let exec = NoisyExecutor::new(&model, &topo, options);
+            let snap = CalibrationSnapshot::uniform(&topo, day_seed as usize, e1, e2, er);
+
+            let trimmed: Vec<(Vec<f64>, u64)> = probes
+                .iter()
+                .map(|(w, s)| (w[..model.n_weights()].to_vec(), *s))
+                .collect();
+            let mut batch = ProbeBatch::with_capacity(trimmed.len());
+            for (w, stream) in &trimmed {
+                batch.push(&features, w, *stream);
+            }
+            for threads in THREAD_COUNTS {
+                let got = exec.evaluate_probes(&snap, &batch, threads);
+                prop_assert_eq!(got.len(), trimmed.len());
+                for (i, (w, stream)) in trimmed.iter().enumerate() {
+                    let want = exec.z_scores_seeded(&features, w, &snap, *stream);
+                    for (a, b) in got[i].iter().zip(want.iter()) {
+                        prop_assert!(
+                            a.to_bits() == b.to_bits(),
+                            "probe {i} {a} vs {b} (threads={threads}, backend={backend:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parameter-shift probes of level-valued weights change the circuit's
+/// angle-class structure: the batch must split those probes into their own
+/// cache groups (taking the compile/miss path) and still match the oracle.
+#[test]
+fn identity_crossing_shifts_go_through_cache_miss_path() {
+    let model = VqcModel::paper_model(4, 3, 4, 1);
+    let topo = Topology::ibm_belem();
+    let exec = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(256, 21));
+    let snap = CalibrationSnapshot::uniform(&topo, 0, 3e-4, 8e-3, 0.02);
+    let features = [0.3, 0.8, 1.4, 2.1];
+    // All-zero weights: every +π/2 probe promotes one rotation from the
+    // identity class to the quarter-turn class (and −π/2 to three
+    // quarters), so no probe shares the base structure.
+    let weights = vec![0.0; model.n_weights()];
+    let obj = |z: &[f64]| qnn::loss::cross_entropy(z, 0);
+    let stream_for = |i: usize, plus: bool| 7 + 2 * i as u64 + u64::from(!plus);
+
+    let calls = Cell::new(0usize);
+    let oracle = |w: &[f64]| {
+        let k = calls.get();
+        calls.set(k + 1);
+        obj(&exec.z_scores_seeded(&features, w, &snap, stream_for(k / 2, k.is_multiple_of(2))))
+    };
+    let want = param_shift_gradient(&oracle, &weights);
+
+    let fresh = NoisyExecutor::new(&model, &topo, NoiseOptions::with_shots(256, 21));
+    let got = param_shift_gradient_batched(&fresh, &snap, &features, &weights, obj, stream_for, 1);
+    assert_bits_eq(&got, &want, "identity-crossing gradient");
+    let stats = fresh.cache_stats();
+    assert!(
+        stats.misses >= 2,
+        "level-crossing probes must compile distinct structures, saw {stats:?}"
+    );
+}
+
+/// End-to-end trained parameters from the batched engines are bit-identical
+/// to the sequential references, in the env-selected backend (the CI
+/// integration matrix varies `QUCAD_BACKEND` / panel widths over this).
+#[test]
+fn trained_parameters_bit_identical_to_sequential_reference() {
+    let data = Dataset::iris(5).truncated(12, 4);
+    let model = VqcModel::paper_model(4, 3, 4, 1);
+    let topo = Topology::ibm_belem();
+    let options = NoiseOptions {
+        backend: SimBackend::from_env(),
+        trajectories: 16,
+        ..NoiseOptions::with_shots(128, 19)
+    };
+    let exec = NoisyExecutor::new(&model, &topo, options);
+    let snap = CalibrationSnapshot::uniform(&topo, 1, 3e-4, 8e-3, 0.02);
+    let init = model.init_weights(6);
+    let trainable = vec![true; model.n_weights()];
+
+    for env in [
+        Env::Pure,
+        Env::Noisy {
+            exec: &exec,
+            snapshot: &snap,
+        },
+    ] {
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 0.1,
+            seed: 3,
+            grad_step: 1e-3,
+        };
+        let reference = train_masked_sequential(&model, &data.train, env, &cfg, &init, &trainable);
+        for threads in THREAD_COUNTS {
+            let batched = train_masked_with_threads(
+                &model,
+                &data.train,
+                env,
+                &cfg,
+                &init,
+                &trainable,
+                threads,
+            );
+            assert_bits_eq(
+                &batched.weights,
+                &reference.weights,
+                &format!("fd weights (threads={threads})"),
+            );
+            assert_eq!(batched.n_evals, reference.n_evals);
+        }
+
+        let spsa_cfg = SpsaConfig {
+            steps: 5,
+            batch_size: 4,
+            seed: 8,
+            ..SpsaConfig::default()
+        };
+        let spsa_reference =
+            train_spsa_masked_sequential(&model, &data.train, env, &spsa_cfg, &init, &trainable);
+        for threads in THREAD_COUNTS {
+            let batched = train_spsa_masked_with_threads(
+                &model,
+                &data.train,
+                env,
+                &spsa_cfg,
+                &init,
+                &trainable,
+                threads,
+            );
+            assert_bits_eq(
+                &batched.weights,
+                &spsa_reference.weights,
+                &format!("spsa weights (threads={threads})"),
+            );
+            assert_eq!(batched.n_evals, spsa_reference.n_evals);
+        }
+    }
+}
+
+/// The positional stream scheme itself: slots/steps/days must map to
+/// distinct streams (no accidental collisions among the slots a training
+/// step uses), or probes would share shot noise they should not.
+#[test]
+fn probe_streams_are_distinct_within_a_step() {
+    let mut seen = std::collections::HashSet::new();
+    for day in [0u64, 1, 77] {
+        for step in 0..4u64 {
+            for slot in 0..33u64 {
+                assert!(
+                    seen.insert(parallel::probe_stream(day, step, slot)),
+                    "stream collision at day={day} step={step} slot={slot}"
+                );
+            }
+        }
+    }
+}
