@@ -414,6 +414,117 @@ fn main() {
         );
     }
 
+    // Serving path: an in-process qucad-serve instance driven by four
+    // pipelined clients over three circuit structures and two days. The
+    // sustained section is gated (it covers the queue/batcher, the wire
+    // codec, and the shared-cache batched execution end to end); the
+    // spot-check below re-asserts the served-bits-equal-direct-bits
+    // contract inside the harness.
+    eprintln!("[perf] serve sections ...");
+    {
+        use qucad_serve::client::ServeClient;
+        use qucad_serve::codec::{Request, Response};
+        use qucad_serve::scenario::ServeScenario;
+        use qucad_serve::server::{serve, ServerConfig};
+
+        let mut scenario = ServeScenario::build("belem", 2, 42);
+        // Gated sections always measure the density engine (see above).
+        scenario.options.backend = SimBackend::Density;
+        let local = scenario.clone();
+        let handle = serve(
+            scenario,
+            ServerConfig {
+                port: 0,
+                workers: 2,
+                max_batch: 16,
+                queue_depth: 256,
+            },
+        )
+        .expect("bind in-process qucad-serve");
+        let addr = handle.addr();
+
+        const CLIENTS: u64 = 4;
+        const REQUESTS: u64 = 64;
+        let eval_request = |client: u64, i: u64| {
+            let palette = (i % 3) as usize;
+            Request::Eval {
+                request_id: client * 1000 + i,
+                client_id: client,
+                day: ((client + i) % 2) as u32,
+                stream: 7919 * client + i,
+                features: vec![0.3 + 0.1 * client as f64, 0.8, 1.4, 2.1],
+                weights: (0..local.model.n_weights())
+                    .map(|j| if j < 3 * palette { 0.0 } else { 0.9 })
+                    .collect(),
+            }
+        };
+
+        report.time("serve_sustained_belem_4c_x64", true, || {
+            std::thread::scope(|scope| {
+                for client_id in 0..CLIENTS {
+                    scope.spawn(move || {
+                        let mut client = ServeClient::connect(addr).expect("connect");
+                        let reqs: Vec<Request> =
+                            (0..REQUESTS).map(|i| eval_request(client_id, i)).collect();
+                        let responses = client.eval_all(&reqs).expect("eval burst");
+                        assert_eq!(responses.len(), reqs.len());
+                        assert!(responses
+                            .values()
+                            .all(|r| matches!(r, Response::Scores { .. })));
+                    });
+                }
+            });
+        });
+
+        // Spot-check the bit-identity contract on a fresh connection.
+        let mut client = ServeClient::connect(addr).expect("connect spot-check");
+        let direct = local.executor(qnn::executor::ProgramCacheHandle::new());
+        for i in 0..8u64 {
+            let req = eval_request(9, i);
+            let Request::Eval {
+                day,
+                stream,
+                ref features,
+                ref weights,
+                ..
+            } = req
+            else {
+                unreachable!()
+            };
+            let want =
+                direct.z_scores_seeded(features, weights, &local.snapshots[day as usize], stream);
+            match client.call(&req).expect("spot-check call") {
+                Response::Scores { z, .. } => {
+                    for (a, b) in z.iter().zip(want.iter()) {
+                        assert!(
+                            a.to_bits() == b.to_bits(),
+                            "served z-score diverged from the direct path ({a} vs {b})"
+                        );
+                    }
+                }
+                other => panic!("spot-check: unexpected {other:?}"),
+            }
+        }
+        let stats = client.stats(u64::MAX).expect("stats");
+        client.shutdown(u64::MAX - 1).expect("shutdown ack");
+        handle.join();
+        let wall = report
+            .section("serve_sustained_belem_4c_x64")
+            .expect("timed above")
+            .wall_ms;
+        println!(
+            "serve throughput: {} requests in {wall:.1} ms -> {:.0} req/s; {} batches \
+             ({} cross-client, peak {}), cache {} hits / {} misses",
+            CLIENTS * REQUESTS,
+            (CLIENTS * REQUESTS) as f64 / (wall / 1e3),
+            stats.batches,
+            stats.cross_client_batches,
+            stats.peak_batch,
+            stats.cache_hits,
+            stats.cache_misses
+        );
+    }
+
     eprintln!("[perf] verifying 1/4/16-thread bit-identity ...");
     report.time("thread_invariance_check", false, || {
         verify_thread_invariance(&experiments[2]);

@@ -1,0 +1,195 @@
+//! `qucad_load`: load generator and bit-identity verifier for a running
+//! `qucad-serve` instance.
+//!
+//! Drives the server with several concurrent pipelined clients over a
+//! deterministic workload (a palette of circuit structures spread across
+//! calibration days), measures sustained requests/sec, and — with
+//! `--verify` — rebuilds the server's scenario locally and checks every
+//! served z-score against a direct in-process
+//! [`qnn::executor::NoisyExecutor::z_scores_seeded`] call, bit for bit.
+//! `--device`/`--days`/`--seed` must therefore match the server's flags,
+//! and both processes must agree on `QUCAD_BACKEND`/`QUCAD_TRAJ_BATCH`.
+//!
+//! Run: `cargo run --release -p qucad_bench --bin qucad_load -- \
+//!       --addr=127.0.0.1:7877 | --port-file=PATH \
+//!       [--device=belem] [--days=8] [--seed=7] [--clients=4] \
+//!       [--requests=64] [--verify] [--shutdown]`
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qnn::executor::ProgramCacheHandle;
+use qucad_serve::client::ServeClient;
+use qucad_serve::codec::{Request, Response};
+use qucad_serve::scenario::ServeScenario;
+
+fn arg_value(name: &str) -> Option<String> {
+    let prefix = format!("--{name}=");
+    std::env::args().find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+}
+
+fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| panic!("--{name} must be a number, got '{raw}'"))
+}
+
+/// Resolves the server address: `--addr` directly, or `--port-file` by
+/// polling for the file `qucad-serve --port-file` publishes (the CI
+/// handshake — the server writes it only once it is listening).
+fn resolve_addr() -> SocketAddr {
+    if let Some(addr) = arg_value("addr") {
+        return addr
+            .parse()
+            .unwrap_or_else(|_| panic!("--addr must be ip:port, got '{addr}'"));
+    }
+    let path = arg_value("port-file").expect("pass --addr=ip:port or --port-file=PATH");
+    for _ in 0..3000 {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(addr) = text.trim().parse() {
+                return addr;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("no server address appeared in {path} within 30s");
+}
+
+/// The deterministic request a client derives from its id and sequence
+/// number: three weight structures spread over every calibration day.
+fn request_for(scenario: &ServeScenario, client: u64, i: u64) -> Request {
+    let n_days = scenario.snapshots.len() as u64;
+    let palette = (i % 3) as usize;
+    let weights: Vec<f64> = (0..scenario.model.n_weights())
+        .map(|j| if j < 3 * palette { 0.0 } else { 0.9 })
+        .collect();
+    Request::Eval {
+        request_id: client * 1_000_000 + i,
+        client_id: client,
+        day: ((client + i) % n_days) as u32,
+        stream: 7919 * client + i,
+        features: vec![0.3 + 0.1 * client as f64, 0.8, 1.4, 2.1],
+        weights,
+    }
+}
+
+fn main() {
+    let addr = resolve_addr();
+    let device = arg_value("device").unwrap_or_else(|| "belem".to_string());
+    let days: usize = arg_value("days").map_or(8, |v| parse_num("days", &v));
+    let seed: u64 = arg_value("seed").map_or(7, |v| parse_num("seed", &v));
+    let clients: u64 = arg_value("clients").map_or(4, |v| parse_num("clients", &v));
+    let requests: u64 = arg_value("requests").map_or(64, |v| parse_num("requests", &v));
+    let verify = arg_flag("verify");
+    let shutdown = arg_flag("shutdown");
+
+    // The same recipe the server was started with; --verify checks the
+    // served bits against this local reconstruction.
+    let scenario = Arc::new(ServeScenario::build(&device, days, seed));
+
+    println!(
+        "qucad_load: driving {addr} with {clients} clients x {requests} requests \
+         (device={device}, days={days}, seed={seed}, verify={verify})"
+    );
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for client_id in 0..clients {
+            let scenario = Arc::clone(&scenario);
+            joins.push(scope.spawn(move || {
+                let mut client =
+                    ServeClient::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+                let reqs: Vec<Request> = (0..requests)
+                    .map(|i| request_for(&scenario, client_id, i))
+                    .collect();
+                let responses = client.eval_all(&reqs).expect("eval burst");
+                assert_eq!(
+                    responses.len(),
+                    reqs.len(),
+                    "client {client_id}: lost responses"
+                );
+
+                if !verify {
+                    for (id, resp) in &responses {
+                        assert!(
+                            matches!(resp, Response::Scores { .. }),
+                            "request {id}: unexpected {resp:?}"
+                        );
+                    }
+                    return;
+                }
+                let direct = scenario.executor(ProgramCacheHandle::new());
+                for req in &reqs {
+                    let Request::Eval {
+                        request_id,
+                        day,
+                        stream,
+                        features,
+                        weights,
+                        ..
+                    } = req
+                    else {
+                        unreachable!()
+                    };
+                    let want = direct.z_scores_seeded(
+                        features,
+                        weights,
+                        &scenario.snapshots[*day as usize],
+                        *stream,
+                    );
+                    match responses.get(request_id) {
+                        Some(Response::Scores { z, .. }) => {
+                            assert_eq!(z.len(), want.len(), "request {request_id}: arity");
+                            for (a, b) in z.iter().zip(want.iter()) {
+                                assert!(
+                                    a.to_bits() == b.to_bits(),
+                                    "BIT-IDENTITY VIOLATION request {request_id}: \
+                                     served {a} != direct {b}"
+                                );
+                            }
+                        }
+                        other => panic!("request {request_id}: unexpected {other:?}"),
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread");
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let total = clients * requests;
+
+    let mut control = ServeClient::connect(addr).expect("connect control client");
+    let stats = control.stats(u64::MAX).expect("stats");
+    let lookups = (stats.cache_hits + stats.cache_misses).max(1);
+    println!(
+        "sustained: {total} requests in {:.1} ms -> {:.0} req/s",
+        wall * 1e3,
+        total as f64 / wall
+    );
+    println!(
+        "server: {} requests, {} batches ({} cross-client, peak {}), \
+         program cache {} hits / {} misses ({:.1}% hit rate)",
+        stats.requests,
+        stats.batches,
+        stats.cross_client_batches,
+        stats.peak_batch,
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.cache_hits as f64 / lookups as f64
+    );
+    if verify {
+        println!("verify OK: all {total} responses bit-identical to the direct path");
+    }
+    if shutdown {
+        control.shutdown(u64::MAX - 1).expect("shutdown ack");
+        println!("server acknowledged shutdown");
+    }
+}

@@ -90,7 +90,9 @@ impl ModelRepository {
     ///
     /// # Panics
     ///
-    /// Panics if `threshold` is negative or not finite.
+    /// Panics if `threshold` is negative or not finite, or if any
+    /// distance weight is non-finite (a NaN weight would poison every
+    /// distance this repository ever computes).
     pub fn new(
         distance_weights: Vec<f64>,
         threshold: f64,
@@ -99,6 +101,10 @@ impl ModelRepository {
         assert!(
             threshold.is_finite() && threshold >= 0.0,
             "threshold must be a finite non-negative number"
+        );
+        assert!(
+            distance_weights.iter().all(|w| w.is_finite()),
+            "distance weights must be finite"
         );
         ModelRepository {
             entries: Vec::new(),
@@ -137,18 +143,36 @@ impl ModelRepository {
     ///
     /// # Panics
     ///
-    /// Panics if the centroid dimension mismatches the distance weights.
+    /// Panics if the centroid dimension mismatches the distance weights
+    /// or the centroid contains non-finite values.
     pub fn push(&mut self, entry: RepositoryEntry) {
         assert_eq!(
             entry.centroid.len(),
             self.distance_weights.len(),
             "centroid dimension mismatch"
         );
+        assert!(
+            entry.centroid.iter().all(|c| c.is_finite()),
+            "centroid features must be finite"
+        );
         self.entries.push(entry);
     }
 
     /// Matches a calibration feature vector against the repository.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` contains NaN or an infinity: a NaN distance
+    /// compares false against every candidate and would silently mis-order
+    /// the scan (e.g. returning a bogus `Hit` on whichever entry happened
+    /// to be examined first), so non-finite calibration input is rejected
+    /// at the boundary instead. Serving front-ends validate before calling
+    /// and map this contract onto their own error responses.
     pub fn match_features(&self, features: &[f64]) -> MatchOutcome {
+        assert!(
+            features.iter().all(|f| f.is_finite()),
+            "match features must be finite"
+        );
         let mut best: Option<(usize, f64)> = None;
         for (i, e) in self.entries.iter().enumerate() {
             let d = weighted_l1(&self.distance_weights, &e.centroid, features);
@@ -304,5 +328,77 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn negative_threshold_rejected() {
         let _ = ModelRepository::new(vec![1.0], -1.0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "match features must be finite")]
+    fn nan_features_rejected() {
+        let r = repo();
+        let _ = r.match_features(&[f64::NAN, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match features must be finite")]
+    fn infinite_features_rejected() {
+        let r = repo();
+        let _ = r.match_features(&[0.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn negative_zero_features_match_like_positive_zero() {
+        // -0.0 is finite and must behave exactly like +0.0 (|x − c| kills
+        // the sign), not trip the non-finite rejection.
+        let r = repo();
+        let neg = r.match_features(&[-0.0, -0.0]);
+        let pos = r.match_features(&[0.0, 0.0]);
+        assert_eq!(neg, pos);
+        match neg {
+            MatchOutcome::Hit { index, distance } => {
+                assert_eq!(index, 0);
+                assert_eq!(distance, 0.0);
+            }
+            other => panic!("expected Hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distance weights must be finite")]
+    fn nan_distance_weights_rejected_at_construction() {
+        let _ = ModelRepository::new(vec![1.0, f64::NAN], 1.0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid features must be finite")]
+    fn non_finite_centroid_rejected_at_push() {
+        let mut r = ModelRepository::new(vec![1.0, 1.0], 1.0, None);
+        r.push(entry(vec![0.0, f64::NEG_INFINITY], None));
+    }
+
+    #[test]
+    fn concurrent_reads_agree_with_sequential_matching() {
+        // The serving path matches one shared repository from many
+        // threads; `match_features` takes `&self`, so concurrent reads
+        // must be safe and return exactly the sequential outcomes.
+        let r = repo();
+        let queries: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![f64::from(i) * 0.3, f64::from(i % 7) * 0.2])
+            .collect();
+        let want: Vec<MatchOutcome> = queries.iter().map(|q| r.match_features(q)).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        queries
+                            .iter()
+                            .map(|q| r.match_features(q))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                let got = h.join().expect("matcher thread panicked");
+                assert_eq!(got, want);
+            }
+        });
     }
 }

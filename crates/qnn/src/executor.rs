@@ -19,8 +19,9 @@
 //! would insert for them). The expensive half of that pipeline — simplify
 //! and route — depends only on the parameters' **structure**
 //! ([`transpile::template::StructureKey`]: which gates sit on identity
-//! angles and vanish), not their raw values, so every executor keeps a
-//! program cache: one simplified+routed
+//! angles and vanish), not their raw values, so every executor holds a
+//! program cache ([`ProgramCacheHandle`], shared across clones): one
+//! simplified+routed
 //! [`transpile::template::CircuitTemplate`] (plus register compaction) per
 //! structure, re-bound per sample (fresh angles) and per day (fresh noise
 //! strengths) with linear passes only. Batch evaluation and training loops
@@ -256,22 +257,179 @@ struct CachedStructure {
     compaction: QubitCompaction,
 }
 
-/// Per-executor compile-once/rebind-many cache: one [`CachedStructure`]
-/// per distinct [`StructureKey`] the executor has evaluated.
+/// One resident cache entry plus the generation of its last touch, the
+/// staleness signal [`ProgramCache::evict_stale`] keys on.
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    cached: CachedStructure,
+    touched: u64,
+}
+
+/// Compile-once/rebind-many cache: one [`CachedStructure`] per distinct
+/// [`StructureKey`] evaluated through it. Shared by every clone of an
+/// executor behind a [`ProgramCacheHandle`].
 ///
 /// Training loops move parameters continuously (one generic-angle key),
 /// while compression snaps parameters onto level patterns (one key per
-/// pattern), so the live key set stays small; the entry cap is a backstop
-/// against pathological angle churn, not a tuning knob.
-#[derive(Debug, Clone, Default)]
+/// pattern), so a single tenant's live key set stays small; the entry cap
+/// matters once many tenants share one cache (the serving path), where it
+/// must degrade gracefully rather than thrash.
+#[derive(Debug, Default)]
 struct ProgramCache {
-    entries: HashMap<StructureKey, CachedStructure>,
+    entries: HashMap<StructureKey, CacheSlot>,
+    /// Insertion order of the resident keys, the iteration index
+    /// [`Self::evict_stale`] scans (the map itself is never iterated, so
+    /// eviction order is deterministic).
+    order: Vec<StructureKey>,
+    /// Coarse logical clock: advances every [`GENERATION_LOOKUPS`]
+    /// lookups, so "stale" means "untouched for a full generation of
+    /// traffic" independent of wall time.
+    generation: u64,
+    lookups_in_generation: u64,
     stats: ProgramCacheStats,
 }
 
-/// Backstop cap on cached structures per executor; on overflow the cache
-/// is cleared generationally (recent hot keys re-warm immediately).
+/// Cap on resident structures per shared cache. On overflow only entries
+/// untouched for a full generation are evicted; if every resident entry is
+/// warm the newcomer is denied admission instead (served uncached), so a
+/// hot working set larger than the cap degrades to a partial hit rate
+/// rather than thrashing to ~0%.
 const MAX_CACHED_STRUCTURES: usize = 256;
+
+/// Lookups per generation of the cache's logical clock. Twice the entry
+/// cap, so a full round-robin over a working set at the cap spans at most
+/// one generation boundary and live entries are never mistaken for stale.
+const GENERATION_LOOKUPS: u64 = 2 * MAX_CACHED_STRUCTURES as u64;
+
+impl ProgramCache {
+    /// Advances the logical clock by one lookup.
+    fn tick(&mut self) {
+        self.lookups_in_generation += 1;
+        if self.lookups_in_generation >= GENERATION_LOOKUPS {
+            self.generation += 1;
+            self.lookups_in_generation = 0;
+        }
+    }
+
+    /// Removes every entry untouched for a full generation, preserving the
+    /// insertion order of the survivors.
+    fn evict_stale(&mut self) {
+        let generation = self.generation;
+        let order = std::mem::take(&mut self.order);
+        for key in order {
+            // `touched + 1 < generation` (not `touched < generation - 1`):
+            // generation is 0 at startup and must not underflow.
+            let stale = self
+                .entries
+                .get(&key)
+                .is_none_or(|slot| slot.touched + 1 < generation);
+            if stale {
+                self.entries.remove(&key);
+            } else {
+                self.order.push(key);
+            }
+        }
+        debug_assert_eq!(
+            self.order.len(),
+            self.entries.len(),
+            "eviction desynced the insertion-order index"
+        );
+    }
+}
+
+/// Shared, thread-safe handle to a [`ProgramCache`]: the unit of warm
+/// state the serving path owns. Cloning the handle shares the cache (and
+/// its hit/miss counters); [`NoisyExecutor`] clones therefore share one
+/// cache rather than each inheriting a private warm copy, so aggregate
+/// hit-rate diagnostics count every lookup exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramCacheHandle {
+    state: std::sync::Arc<std::sync::Mutex<ProgramCache>>,
+}
+
+impl ProgramCacheHandle {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProgramCache> {
+        // A panic while holding the lock poisons it; the cache itself is
+        // never left mid-mutation (all writes are single insert/remove
+        // calls), so the poisoned state is safe to keep using.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks `key` up, ticking the logical clock and the hit/miss
+    /// counters; a hit refreshes the slot's touch generation.
+    fn lookup(&self, key: &StructureKey) -> Option<CachedStructure> {
+        let mut cache = self.lock();
+        cache.tick();
+        let generation = cache.generation;
+        let hit = cache.entries.get_mut(key).map(|slot| {
+            slot.touched = generation;
+            slot.cached.clone()
+        });
+        if hit.is_some() {
+            cache.stats.hits += 1;
+        } else {
+            cache.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Offers a freshly compiled structure to the cache. Returns the
+    /// canonical resident entry: if a concurrent clone admitted the same
+    /// key first, that entry wins (both are bit-identical by the template
+    /// contract); if the cache is at capacity with no stale entries,
+    /// admission is denied and the caller's own compile is returned
+    /// uncached.
+    fn admit(&self, key: StructureKey, cached: CachedStructure) -> CachedStructure {
+        let mut cache = self.lock();
+        let cache = &mut *cache;
+        if let Some(slot) = cache.entries.get(&key) {
+            return slot.cached.clone();
+        }
+        if cache.entries.len() >= MAX_CACHED_STRUCTURES {
+            cache.evict_stale();
+        }
+        if cache.entries.len() < MAX_CACHED_STRUCTURES {
+            let slot = CacheSlot {
+                cached: cached.clone(),
+                touched: cache.generation,
+            };
+            let evicted = cache.entries.insert(key.clone(), slot);
+            debug_assert!(
+                evicted.is_none(),
+                "program cache admit raced an existing entry for the same key"
+            );
+            cache.order.push(key);
+            debug_assert_eq!(
+                cache.order.len(),
+                cache.entries.len(),
+                "admission desynced the insertion-order index"
+            );
+        }
+        debug_assert!(
+            cache.entries.len() <= MAX_CACHED_STRUCTURES,
+            "program cache exceeds the {MAX_CACHED_STRUCTURES}-entry cap"
+        );
+        cached
+    }
+
+    /// Aggregate hit/miss counters across every executor sharing this
+    /// cache.
+    pub fn stats(&self) -> ProgramCacheStats {
+        self.lock().stats
+    }
+
+    /// Number of structures currently resident.
+    pub fn resident_structures(&self) -> usize {
+        self.lock().entries.len()
+    }
+}
 
 /// A model routed onto a device, ready for noisy evaluation under any
 /// calibration snapshot.
@@ -308,8 +466,10 @@ pub struct NoisyExecutor {
     /// Compile-once/rebind-many program cache: simplify + route run once
     /// per circuit structure; later evaluations re-bind angles (per
     /// sample) and noise strengths (per day) with linear passes only.
-    /// Cloned executors inherit the warm cache.
-    cache: std::cell::RefCell<ProgramCache>,
+    /// Cloned executors **share** this cache (the handle is `Arc`-backed),
+    /// so worker fan-outs and serving tenants warm one another and the
+    /// hit/miss counters aggregate across clones.
+    cache: ProgramCacheHandle,
 }
 
 impl NoisyExecutor {
@@ -319,6 +479,23 @@ impl NoisyExecutor {
     ///
     /// Panics if the device is smaller than the model.
     pub fn new(model: &VqcModel, topology: &Topology, options: NoiseOptions) -> Self {
+        Self::with_shared_cache(model, topology, options, ProgramCacheHandle::new())
+    }
+
+    /// [`Self::new`] with an explicit program cache, so independently
+    /// constructed executors (e.g. one per serving worker) share warm
+    /// templates. The model/topology must match across every executor on
+    /// the handle: the cache key is the parameter structure only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is smaller than the model.
+    pub fn with_shared_cache(
+        model: &VqcModel,
+        topology: &Topology,
+        options: NoiseOptions,
+        cache: ProgramCacheHandle,
+    ) -> Self {
         use rand::SeedableRng;
         let phys = route(model.circuit(), topology, None);
         NoisyExecutor {
@@ -329,8 +506,15 @@ impl NoisyExecutor {
             shot_rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(options.shot_seed)),
             workspace: std::cell::RefCell::new(SimWorkspace::new()),
             traj_panel: std::cell::RefCell::new(TrajectoryPanel::new()),
-            cache: std::cell::RefCell::new(ProgramCache::default()),
+            cache,
         }
+    }
+
+    /// The shared program-cache handle (clone it to share warm templates
+    /// with another executor, or to read aggregate stats from a thread
+    /// that owns no executor).
+    pub fn cache_handle(&self) -> ProgramCacheHandle {
+        self.cache.clone()
     }
 
     /// The routed physical circuit (the compression input in the paper).
@@ -444,10 +628,18 @@ impl NoisyExecutor {
     /// (equal keys → value-identical simplified circuits → identical
     /// routing), which the `rebind_identity` property tests enforce.
     fn native_at(&self, full: &[f64]) -> (NativeCircuit, QubitCompaction) {
+        let entry = self.structure_at(full);
+        (entry.template.bind(full), entry.compaction)
+    }
+
+    /// The cached structure (template + compaction) of a parameter vector:
+    /// the group-level entry point of [`Self::evaluate_probes`], which
+    /// fetches one structure per probe *group* and re-binds it per probe
+    /// through [`CircuitTemplate::bind_batch`]. Counts one cache hit or
+    /// miss per call — i.e. per structure group, not per probe.
+    fn structure_at(&self, full: &[f64]) -> CachedStructure {
         let key = structure_key(self.model.circuit(), full, ANGLE_TOL);
-        let mut cache = self.cache.borrow_mut();
-        let cache = &mut *cache;
-        if let Some(entry) = cache.entries.get(&key) {
+        if let Some(entry) = self.cache.lookup(&key) {
             // Rebind-boundary invariant check: the cached template's key
             // must equal the bound vector's — binding across structures
             // would silently diverge from a from-scratch compile.
@@ -461,84 +653,31 @@ impl NoisyExecutor {
                 .is_ok(),
                 "program cache hit on a structurally different template"
             );
-            cache.stats.hits += 1;
-            return (entry.template.bind(full), entry.compaction.clone());
+            return entry;
         }
-        cache.stats.misses += 1;
-        let entry = Self::insert_structure(
-            cache,
-            self.model.circuit(),
-            &self.topology,
-            full,
+        // Compile outside the cache lock: concurrent clones missing on
+        // *distinct* structures must not serialise on each other's
+        // simplify → route passes. Two clones racing on the *same* key
+        // both compile, and `admit` keeps the first entry (the results are
+        // bit-identical by the template contract).
+        let template =
+            CircuitTemplate::compile(self.model.circuit(), &self.topology, full, ANGLE_TOL);
+        let native = template.bind(full);
+        let compaction = self.compaction(&native);
+        self.cache.admit(
             key,
-            |native| self.compaction(native),
-        );
-        (entry.template.bind(full), entry.compaction)
-    }
-
-    /// The cached structure (template + compaction) of a parameter vector:
-    /// the group-level entry point of [`Self::evaluate_probes`], which
-    /// fetches one structure per probe *group* and re-binds it per probe
-    /// through [`CircuitTemplate::bind_batch`]. Counts one cache hit or
-    /// miss per call — i.e. per structure group, not per probe.
-    fn structure_at(&self, full: &[f64]) -> CachedStructure {
-        let key = structure_key(self.model.circuit(), full, ANGLE_TOL);
-        let mut cache = self.cache.borrow_mut();
-        let cache = &mut *cache;
-        if let Some(entry) = cache.entries.get(&key) {
-            cache.stats.hits += 1;
-            return entry.clone();
-        }
-        cache.stats.misses += 1;
-        Self::insert_structure(
-            cache,
-            self.model.circuit(),
-            &self.topology,
-            full,
-            key,
-            |native| self.compaction(native),
+            CachedStructure {
+                template,
+                compaction,
+            },
         )
     }
 
-    /// Compiles `full`'s structure and inserts it into the cache (shared
-    /// miss path of [`Self::native_at`] and [`Self::structure_at`]),
-    /// returning the freshly cached entry.
-    fn insert_structure(
-        cache: &mut ProgramCache,
-        circuit: &transpile::circuit::Circuit,
-        topology: &Topology,
-        full: &[f64],
-        key: StructureKey,
-        compaction_of: impl Fn(&NativeCircuit) -> QubitCompaction,
-    ) -> CachedStructure {
-        let template = CircuitTemplate::compile(circuit, topology, full, ANGLE_TOL);
-        let native = template.bind(full);
-        let compaction = compaction_of(&native);
-        if cache.entries.len() >= MAX_CACHED_STRUCTURES {
-            // Generational eviction: drop the whole generation at once so
-            // hot keys re-warm immediately (never evict-on-hit).
-            cache.entries.clear();
-            debug_assert!(cache.entries.is_empty(), "generational clear left entries");
-        }
-        debug_assert!(
-            cache.entries.len() < MAX_CACHED_STRUCTURES,
-            "program cache insert would exceed the {MAX_CACHED_STRUCTURES}-entry cap"
-        );
-        let entry = CachedStructure {
-            template,
-            compaction,
-        };
-        let evicted = cache.entries.insert(key, entry.clone());
-        debug_assert!(
-            evicted.is_none(),
-            "program cache miss raced an existing entry for the same key"
-        );
-        entry
-    }
-
-    /// Hit/miss counters of the program cache (per executor clone).
+    /// Aggregate hit/miss counters of the shared program cache (every
+    /// clone of this executor counts into the same totals; see
+    /// [`ProgramCacheHandle::stats`]).
     pub fn cache_stats(&self) -> ProgramCacheStats {
-        self.cache.borrow().stats
+        self.cache.stats()
     }
 
     /// Compaction of the device register to the qubits this circuit (and
@@ -1133,18 +1272,21 @@ pub mod parallel {
     use calibration::snapshot::CalibrationSnapshot;
 
     /// Number of worker threads the batch evaluators should use:
-    /// `QUCAD_THREADS` if set to a positive integer, otherwise the
-    /// machine's available parallelism.
+    /// `QUCAD_THREADS` if set, otherwise the machine's available
+    /// parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `QUCAD_THREADS` is set to anything but a positive
+    /// integer — `0`, garbage, and whitespace-only values are deployment
+    /// typos and must not silently demote to the machine default (the
+    /// same contract `QUCAD_TRAJ_BATCH` enforces).
     pub fn worker_threads() -> usize {
         // qucad-lint: allow(env-read) — audited entry point: worker thread count
-        if let Ok(v) = std::env::var("QUCAD_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
+        match std::env::var("QUCAD_THREADS") {
+            Ok(v) => quasim::config::parse_positive("QUCAD_THREADS", &v),
+            Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         }
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     }
 
     /// Combines a day-level stream with a sample index into the evaluation
@@ -1586,6 +1728,111 @@ mod tests {
         let stats = exec.cache_stats();
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.hits, 2, "warm batch: one hit per group");
+    }
+
+    /// Weight vector with the low `bits` weights zeroed per `mask`'s bits:
+    /// distinct masks put distinct gate subsets on the identity class, so
+    /// each mask is its own structure key.
+    fn mask_weights(n: usize, mask: u32, bits: u32) -> Vec<f64> {
+        (0..n)
+            .map(|j| {
+                if (j as u32) < bits && mask & (1 << j) != 0 {
+                    0.0
+                } else {
+                    0.9
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_sustains_hit_rate_beyond_capacity_round_robin() {
+        const WORKING_SET: usize = 300;
+        let (model, _, exec) = setup();
+        let features = [0.3; 4];
+        let n = model.n_weights();
+        assert!(
+            n >= 9,
+            "need 9 maskable weights for 300 distinct structures"
+        );
+        // Pass 1: cold — every structure compiles.
+        for i in 0..WORKING_SET {
+            exec.circuit_length(&features, &mask_weights(n, i as u32, 9));
+        }
+        let cold = exec.cache_stats();
+        assert_eq!(cold.misses, WORKING_SET as u64);
+        assert_eq!(cold.hits, 0);
+        // Warm passes: the old clear-at-cap scheme collapsed any >cap
+        // round-robin to ~0% hits every generation; stale-only eviction
+        // plus admission denial must keep every resident structure warm
+        // (cap / working set ≈ 85% here), pass after pass.
+        for pass in 0..2 {
+            let before = exec.cache_stats();
+            for i in 0..WORKING_SET {
+                exec.circuit_length(&features, &mask_weights(n, i as u32, 9));
+            }
+            let after = exec.cache_stats();
+            let hits = after.hits - before.hits;
+            assert!(
+                hits >= 250,
+                "warm pass {pass}: {hits}/{WORKING_SET} hits (cache thrash regression)"
+            );
+        }
+        assert!(exec.cache_handle().resident_structures() <= MAX_CACHED_STRUCTURES);
+    }
+
+    #[test]
+    fn clones_share_one_cache_and_aggregate_stats() {
+        let (model, _, exec) = setup();
+        let features = [0.3; 4];
+        let weights = vec![0.7; model.n_weights()];
+        let clone = exec.clone();
+        clone.circuit_length(&features, &weights);
+        // The clone's compile warms the original: the same key hits here.
+        exec.circuit_length(&features, &weights);
+        let stats = exec.cache_stats();
+        assert_eq!(
+            stats,
+            clone.cache_stats(),
+            "counters are shared, not per-clone"
+        );
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(exec.cache_handle().resident_structures(), 1);
+    }
+
+    #[test]
+    fn stale_entries_evicted_for_a_shifted_working_set() {
+        let (model, _, exec) = setup();
+        let features = [0.3; 4];
+        let n = model.n_weights();
+        for i in 0..MAX_CACHED_STRUCTURES {
+            exec.circuit_length(&features, &mask_weights(n, i as u32, 9));
+        }
+        assert_eq!(
+            exec.cache_handle().resident_structures(),
+            MAX_CACHED_STRUCTURES
+        );
+        // Keep one key hot while the logical clock advances two full
+        // generations: every other resident entry goes stale.
+        let hot = mask_weights(n, 0, 9);
+        for _ in 0..(2 * GENERATION_LOOKUPS + 10) {
+            exec.circuit_length(&features, &hot);
+        }
+        // A genuinely new structure now evicts the stale entries and is
+        // admitted; the hot key survives eviction.
+        let newcomer = mask_weights(n, 300, 9);
+        exec.circuit_length(&features, &newcomer);
+        let before = exec.cache_stats();
+        exec.circuit_length(&features, &newcomer);
+        exec.circuit_length(&features, &hot);
+        let after = exec.cache_stats();
+        assert_eq!(
+            after.hits - before.hits,
+            2,
+            "newcomer admitted and hot key retained"
+        );
+        assert_eq!(exec.cache_handle().resident_structures(), 2);
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod density;
 pub mod fused;
 pub mod gate;

@@ -537,13 +537,7 @@ fn panel_width_from_value(value: Option<&str>, n_qubits: usize, n_trajectories: 
     let width = match value {
         // A set variable must parse — empty and whitespace-only values are
         // typos too, not requests for the auto width.
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&w| w > 0)
-            .unwrap_or_else(|| panic!("QUCAD_TRAJ_BATCH must be a positive integer, got '{v}'"))
-            .min(MAX_PANEL_WIDTH),
+        Some(v) => crate::config::parse_positive("QUCAD_TRAJ_BATCH", v).min(MAX_PANEL_WIDTH),
         None => auto_panel_width(n_qubits),
     };
     width.min((n_trajectories.max(1)) as usize)

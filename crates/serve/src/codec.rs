@@ -1,0 +1,603 @@
+//! Hand-rolled length-prefixed binary wire format of `qucad-serve`.
+//!
+//! The build environment has no crates.io access, so the protocol is a
+//! small fixed codec rather than serde: every message travels as one
+//! *frame* — a little-endian `u32` payload length followed by the payload
+//! — and every payload starts with a one-byte message tag. All integers
+//! are little-endian; every `f64` is transported as its IEEE-754 bit
+//! pattern (`to_bits`/`from_bits`), so values — including NaNs and
+//! signed zeros — round-trip **bit-exactly**. That is what lets the
+//! server promise responses bit-identical to a direct in-process
+//! [`qnn::executor::NoisyExecutor`] call: the wire cannot perturb a
+//! single ULP.
+//!
+//! The codec is deliberately version-naive (one tag byte, no feature
+//! negotiation): client and server ship from the same tree.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload size. An eval request is a handful of
+/// f64 vectors (well under a kilobyte); anything near this cap is a
+/// corrupt or hostile length prefix and is rejected before allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A decoding failure (the sending side can only produce valid frames,
+/// so any of these indicates a corrupt stream or a version skew).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Payload ended before the announced field boundary.
+    Truncated,
+    /// Unknown message or outcome tag.
+    UnknownTag(u8),
+    /// Announced frame length exceeds [`MAX_FRAME_BYTES`].
+    Oversize(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Payload had bytes left over after the message was fully decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated mid-field"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag 0x{t:02x}"),
+            CodecError::Oversize(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+                )
+            }
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate one circuit under one calibration day: the serving-path
+    /// analogue of [`qnn::executor::NoisyExecutor::z_scores_seeded`].
+    Eval {
+        /// Client-chosen id echoed on the response (responses may return
+        /// out of submission order — batches complete per structure).
+        request_id: u64,
+        /// Tenant id; used for cross-client batch accounting only (the
+        /// result depends on the request body alone).
+        client_id: u64,
+        /// Calibration day index into the server's scenario history.
+        day: u32,
+        /// Shot-noise stream id (same contract as `z_scores_seeded`).
+        stream: u64,
+        /// Input feature vector.
+        features: Vec<f64>,
+        /// Model weight vector.
+        weights: Vec<f64>,
+    },
+    /// Match a calibration feature vector against the model repository.
+    MatchModel {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+        /// Calibration features to match.
+        features: Vec<f64>,
+    },
+    /// Fetch serving counters.
+    Stats {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+    },
+    /// Ask the server to drain pending work and exit cleanly.
+    Shutdown {
+        /// Client-chosen id echoed on the response.
+        request_id: u64,
+    },
+}
+
+/// Repository match outcome on the wire (mirrors
+/// [`qucad::repository::MatchOutcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMatchOutcome {
+    /// Entry `index` matched within threshold.
+    Hit {
+        /// Matched entry index.
+        index: u32,
+        /// Weighted L1 distance to the matched centroid.
+        distance: f64,
+    },
+    /// No entry close enough.
+    Miss {
+        /// Distance to the nearest entry (infinite when empty).
+        nearest_distance: f64,
+    },
+    /// Nearest entry's cluster is below the accuracy requirement.
+    Invalid {
+        /// Matched (invalid) entry index.
+        index: u32,
+        /// Its predicted (cluster-mean) accuracy.
+        predicted_accuracy: f64,
+    },
+}
+
+/// Serving counters reported by [`Response::StatsReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Eval requests admitted to the batch queue.
+    pub requests: u64,
+    /// Batched evaluation passes executed.
+    pub batches: u64,
+    /// Batches that grouped requests from more than one client.
+    pub cross_client_batches: u64,
+    /// Largest batch executed.
+    pub peak_batch: u32,
+    /// Program-cache hits across all workers (shared cache).
+    pub cache_hits: u64,
+    /// Program-cache misses across all workers (shared cache).
+    pub cache_misses: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Per-class z-scores of one [`Request::Eval`].
+    Scores {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Per-class `⟨Z⟩` scores, bit-identical to the direct path.
+        z: Vec<f64>,
+    },
+    /// Outcome of one [`Request::MatchModel`].
+    MatchResult {
+        /// Echo of the request id.
+        request_id: u64,
+        /// The repository's decision.
+        outcome: WireMatchOutcome,
+    },
+    /// Counters for one [`Request::Stats`].
+    StatsReport {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Serving counters at the time of the request.
+        stats: ServeStats,
+    },
+    /// The request was rejected (validation failure or shutdown race).
+    Error {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown {
+        /// Echo of the request id.
+        request_id: u64,
+    },
+}
+
+// --- primitive encoders -------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(
+        buf,
+        u32::try_from(vs.len()).expect("vector length exceeds u32"),
+    );
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(
+        buf,
+        u32::try_from(s.len()).expect("string length exceeds u32"),
+    );
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// --- primitive decoders -------------------------------------------------
+
+/// Cursor over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.u32()? as usize;
+        // The length is attacker-controlled until checked against the
+        // bytes actually present; never pre-allocate from it blindly.
+        if n.checked_mul(8)
+            .is_none_or(|bytes| bytes > self.buf.len() - self.pos)
+        {
+            return Err(CodecError::Truncated);
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    fn finish(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+// --- message codec ------------------------------------------------------
+
+const TAG_EVAL: u8 = 0x01;
+const TAG_MATCH: u8 = 0x02;
+const TAG_STATS: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_SCORES: u8 = 0x81;
+const TAG_MATCH_RESULT: u8 = 0x82;
+const TAG_STATS_REPORT: u8 = 0x83;
+const TAG_ERROR: u8 = 0x84;
+const TAG_SHUTTING_DOWN: u8 = 0x85;
+
+const OUTCOME_HIT: u8 = 0;
+const OUTCOME_MISS: u8 = 1;
+const OUTCOME_INVALID: u8 = 2;
+
+/// Encodes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match req {
+        Request::Eval {
+            request_id,
+            client_id,
+            day,
+            stream,
+            features,
+            weights,
+        } => {
+            buf.push(TAG_EVAL);
+            put_u64(&mut buf, *request_id);
+            put_u64(&mut buf, *client_id);
+            put_u32(&mut buf, *day);
+            put_u64(&mut buf, *stream);
+            put_f64s(&mut buf, features);
+            put_f64s(&mut buf, weights);
+        }
+        Request::MatchModel {
+            request_id,
+            features,
+        } => {
+            buf.push(TAG_MATCH);
+            put_u64(&mut buf, *request_id);
+            put_f64s(&mut buf, features);
+        }
+        Request::Stats { request_id } => {
+            buf.push(TAG_STATS);
+            put_u64(&mut buf, *request_id);
+        }
+        Request::Shutdown { request_id } => {
+            buf.push(TAG_SHUTDOWN);
+            put_u64(&mut buf, *request_id);
+        }
+    }
+    buf
+}
+
+/// Decodes a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, CodecError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        TAG_EVAL => Request::Eval {
+            request_id: c.u64()?,
+            client_id: c.u64()?,
+            day: c.u32()?,
+            stream: c.u64()?,
+            features: c.f64s()?,
+            weights: c.f64s()?,
+        },
+        TAG_MATCH => Request::MatchModel {
+            request_id: c.u64()?,
+            features: c.f64s()?,
+        },
+        TAG_STATS => Request::Stats {
+            request_id: c.u64()?,
+        },
+        TAG_SHUTDOWN => Request::Shutdown {
+            request_id: c.u64()?,
+        },
+        t => return Err(CodecError::UnknownTag(t)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match resp {
+        Response::Scores { request_id, z } => {
+            buf.push(TAG_SCORES);
+            put_u64(&mut buf, *request_id);
+            put_f64s(&mut buf, z);
+        }
+        Response::MatchResult {
+            request_id,
+            outcome,
+        } => {
+            buf.push(TAG_MATCH_RESULT);
+            put_u64(&mut buf, *request_id);
+            match outcome {
+                WireMatchOutcome::Hit { index, distance } => {
+                    buf.push(OUTCOME_HIT);
+                    put_u32(&mut buf, *index);
+                    put_f64(&mut buf, *distance);
+                }
+                WireMatchOutcome::Miss { nearest_distance } => {
+                    buf.push(OUTCOME_MISS);
+                    put_f64(&mut buf, *nearest_distance);
+                }
+                WireMatchOutcome::Invalid {
+                    index,
+                    predicted_accuracy,
+                } => {
+                    buf.push(OUTCOME_INVALID);
+                    put_u32(&mut buf, *index);
+                    put_f64(&mut buf, *predicted_accuracy);
+                }
+            }
+        }
+        Response::StatsReport { request_id, stats } => {
+            buf.push(TAG_STATS_REPORT);
+            put_u64(&mut buf, *request_id);
+            put_u64(&mut buf, stats.requests);
+            put_u64(&mut buf, stats.batches);
+            put_u64(&mut buf, stats.cross_client_batches);
+            put_u32(&mut buf, stats.peak_batch);
+            put_u64(&mut buf, stats.cache_hits);
+            put_u64(&mut buf, stats.cache_misses);
+        }
+        Response::Error {
+            request_id,
+            message,
+        } => {
+            buf.push(TAG_ERROR);
+            put_u64(&mut buf, *request_id);
+            put_str(&mut buf, message);
+        }
+        Response::ShuttingDown { request_id } => {
+            buf.push(TAG_SHUTTING_DOWN);
+            put_u64(&mut buf, *request_id);
+        }
+    }
+    buf
+}
+
+/// Decodes a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, CodecError> {
+    let mut c = Cursor::new(payload);
+    let resp = match c.u8()? {
+        TAG_SCORES => Response::Scores {
+            request_id: c.u64()?,
+            z: c.f64s()?,
+        },
+        TAG_MATCH_RESULT => {
+            let request_id = c.u64()?;
+            let outcome = match c.u8()? {
+                OUTCOME_HIT => WireMatchOutcome::Hit {
+                    index: c.u32()?,
+                    distance: c.f64()?,
+                },
+                OUTCOME_MISS => WireMatchOutcome::Miss {
+                    nearest_distance: c.f64()?,
+                },
+                OUTCOME_INVALID => WireMatchOutcome::Invalid {
+                    index: c.u32()?,
+                    predicted_accuracy: c.f64()?,
+                },
+                t => return Err(CodecError::UnknownTag(t)),
+            };
+            Response::MatchResult {
+                request_id,
+                outcome,
+            }
+        }
+        TAG_STATS_REPORT => Response::StatsReport {
+            request_id: c.u64()?,
+            stats: ServeStats {
+                requests: c.u64()?,
+                batches: c.u64()?,
+                cross_client_batches: c.u64()?,
+                peak_batch: c.u32()?,
+                cache_hits: c.u64()?,
+                cache_misses: c.u64()?,
+            },
+        },
+        TAG_ERROR => Response::Error {
+            request_id: c.u64()?,
+            message: c.string()?,
+        },
+        TAG_SHUTTING_DOWN => Response::ShuttingDown {
+            request_id: c.u64()?,
+        },
+        t => return Err(CodecError::UnknownTag(t)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+// --- framing ------------------------------------------------------------
+
+/// Writes one frame (length prefix + payload) to `w`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] — only this module's
+/// encoders produce payloads, so an oversize one is a programming error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "outgoing frame of {} bytes exceeds the cap",
+        payload.len()
+    );
+    let len = u32::try_from(payload.len()).expect("frame cap fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on clean EOF (connection
+/// closed between frames); EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            CodecError::Oversize(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let req = Request::Eval {
+            request_id: 7,
+            client_id: 3,
+            day: 2,
+            stream: 99,
+            features: vec![0.25, -0.0, f64::NAN],
+            weights: vec![1.5; 10],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_request(&req)).expect("write");
+        let mut cursor = io::Cursor::new(wire);
+        let payload = read_frame(&mut cursor).expect("read").expect("frame");
+        let got = decode_request(&payload).expect("decode");
+        // NaN != NaN under PartialEq on the payload struct, so compare the
+        // bit patterns field by field.
+        match (&got, &req) {
+            (
+                Request::Eval {
+                    features: got_f,
+                    weights: got_w,
+                    ..
+                },
+                Request::Eval {
+                    features: want_f,
+                    weights: want_w,
+                    ..
+                },
+            ) => {
+                for (a, b) in got_f.iter().zip(want_f.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                assert_eq!(got_w, want_w);
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert!(read_frame(&mut cursor).expect("eof").is_none());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let payload = encode_request(&Request::Stats { request_id: 1 });
+        assert_eq!(
+            decode_request(&payload[..payload.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Stats { request_id: 1 });
+        payload.push(0);
+        assert_eq!(decode_request(&payload), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode_request(&[0x7f]), Err(CodecError::UnknownTag(0x7f)));
+        assert_eq!(decode_response(&[0x01]), Err(CodecError::UnknownTag(0x01)));
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(wire)).expect_err("oversize");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn lying_vector_length_is_rejected() {
+        // A frame announcing 2^28 f64s backed by no bytes must fail fast,
+        // not allocate.
+        let mut payload = vec![TAG_MATCH];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&(1u32 << 28).to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(CodecError::Truncated));
+    }
+}

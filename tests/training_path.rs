@@ -282,6 +282,68 @@ fn trained_parameters_bit_identical_to_sequential_reference() {
     }
 }
 
+/// Program-cache counter totals through a training run: every clone of an
+/// executor shares one cache and one set of counters, so the totals read
+/// through any clone agree, are deterministic at one thread, and never
+/// lose the lookups performed by the fan-out clones (the pre-shared-cache
+/// design double-counted per clone and dropped clone totals on drop).
+#[test]
+fn training_cache_totals_aggregate_across_clones() {
+    let data = Dataset::iris(5).truncated(8, 4);
+    let model = VqcModel::paper_model(4, 3, 4, 1);
+    let topo = Topology::ibm_belem();
+    let options = NoiseOptions::with_shots(128, 19);
+    let snap = CalibrationSnapshot::uniform(&topo, 1, 3e-4, 8e-3, 0.02);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        lr: 0.1,
+        seed: 3,
+        grad_step: 1e-3,
+    };
+    let trainable = vec![true; model.n_weights()];
+    let init = model.init_weights(6);
+
+    let run = |threads: usize| {
+        let exec = NoisyExecutor::new(&model, &topo, options);
+        let clone = exec.clone();
+        let env = Env::Noisy {
+            exec: &exec,
+            snapshot: &snap,
+        };
+        train_masked_with_threads(&model, &data.train, env, &cfg, &init, &trainable, threads);
+        let direct = exec.cache_stats();
+        let via_clone = clone.cache_stats();
+        assert_eq!(
+            (direct.hits, direct.misses),
+            (via_clone.hits, via_clone.misses),
+            "clones must report one shared set of counters"
+        );
+        direct
+    };
+
+    let single = run(1);
+    assert!(
+        single.misses >= 1,
+        "a fresh cache must compile at least one structure, saw {single:?}"
+    );
+    let single_again = run(1);
+    assert_eq!(
+        (single.hits, single.misses),
+        (single_again.hits, single_again.misses),
+        "single-thread lookup totals are deterministic"
+    );
+    // Threaded runs partition probes before grouping, so each partition
+    // performs its own per-structure lookup: the aggregate can only grow,
+    // and — the satellite fix — none of the fan-out clones' lookups may
+    // vanish from the shared totals.
+    let fanned = run(4);
+    assert!(
+        fanned.hits + fanned.misses >= single.hits + single.misses,
+        "fan-out clones' lookups must land in the shared totals: {fanned:?} vs {single:?}"
+    );
+}
+
 /// The positional stream scheme itself: slots/steps/days must map to
 /// distinct streams (no accidental collisions among the slots a training
 /// step uses), or probes would share shot noise they should not.
